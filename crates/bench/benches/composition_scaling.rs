@@ -1,0 +1,8 @@
+//! Experiment B1: compositional vs. monolithic schedule-space exploration
+//! — the quantitative form of the paper's local-reasoning claim (§1).
+//!
+//! Run with `cargo bench -p ccal-bench --bench composition_scaling`.
+
+fn main() {
+    println!("{}", ccal_bench::scaling::render_scaling(&[2, 3, 4, 5]));
+}

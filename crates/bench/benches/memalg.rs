@@ -1,0 +1,63 @@
+//! Experiment F12: the algebraic memory model (Fig. 12) at scale —
+//! composing N per-thread memories (frames + placeholders) into the
+//! CPU-local memory, as the thread-safe linking construction does (§5.5).
+//!
+//! Run with `cargo bench -p ccal-bench --bench memalg`.
+
+use ccal_compcertx::link::simulate_threaded_linking;
+use ccal_compcertx::memalg::{compose_n, ld};
+use ccal_machine::mem::{Addr, Memory};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds `threads` private memories over `blocks` total frames, block
+/// `i` live in thread `i % threads`, placeholders elsewhere.
+fn thread_memories(threads: usize, blocks: usize) -> Vec<Memory> {
+    let mut mems = vec![Memory::new(); threads];
+    for i in 0..blocks {
+        for (t, m) in mems.iter_mut().enumerate() {
+            if i % threads == t {
+                let b = m.alloc(2);
+                m.store(Addr::new(b, 0), ccal_core::val::Val::Int(i as i64))
+                    .expect("fresh block");
+            } else {
+                m.liftnb(1);
+            }
+        }
+    }
+    mems
+}
+
+fn bench_memalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memalg-compose");
+    for &(threads, blocks) in &[(2_usize, 64_usize), (4, 256), (8, 1024)] {
+        let mems = thread_memories(threads, blocks);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{threads}-threads"), blocks),
+            &mems,
+            |b, mems| {
+                b.iter(|| {
+                    let m = compose_n(mems).expect("disjointly live");
+                    // Touch one load so the composition isn't dead code.
+                    std::hint::black_box(ld(&m, Addr::new(0, 0)).expect("live block"));
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut sched_group = c.benchmark_group("threaded-linking");
+    for &slices in &[16_usize, 64] {
+        let schedule: Vec<(u32, usize)> = (0..slices).map(|i| ((i % 4) as u32, 2)).collect();
+        sched_group.bench_with_input(
+            BenchmarkId::from_parameter(slices),
+            &schedule,
+            |b, schedule| {
+                b.iter(|| simulate_threaded_linking(schedule).expect("linking holds"));
+            },
+        );
+    }
+    sched_group.finish();
+}
+
+criterion_group!(benches, bench_memalg);
+criterion_main!(benches);

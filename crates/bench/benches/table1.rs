@@ -1,0 +1,8 @@
+//! Experiment T1: regenerates Table 1 of the evaluation (§6) — toolkit
+//! component sizes, paper (Coq) vs. this reproduction (Rust).
+//!
+//! Run with `cargo bench -p ccal-bench --bench table1`.
+
+fn main() {
+    println!("{}", ccal_bench::tables::render_table1());
+}

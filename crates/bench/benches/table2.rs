@@ -1,0 +1,9 @@
+//! Experiment T2: regenerates Table 2 of the evaluation (§6) — per-object
+//! statistics. Every object is actually re-certified to produce its
+//! obligation/case counts (the reproduction's analog of proof effort).
+//!
+//! Run with `cargo bench -p ccal-bench --bench table2`.
+
+fn main() {
+    println!("{}", ccal_bench::tables::render_table2());
+}

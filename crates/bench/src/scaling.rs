@@ -1,0 +1,130 @@
+//! The compositionality study (experiment B1).
+//!
+//! The paper's thesis is that layer-local verification plus composition
+//! rules beats whole-system reasoning: "it enables local reasoning such
+//! that the implementation can be first verified over a single thread `t`
+//! ... and the guarantees can then be propagated to the whole concurrent
+//! machine by parallel compositions" (§1). This module quantifies the
+//! analogous effect in the bounded checker: the schedule space a
+//! *monolithic* exploration must cover grows as `n^(k·L)` for `k`
+//! participants, while the compositional route checks `k` participants
+//! independently (`k · n^L`) and discharges `Pcomp` side conditions on
+//! probe logs.
+
+use std::time::{Duration, Instant};
+
+use ccal_core::calculus::{check_fun, pcomp, CheckOptions};
+use ccal_core::contexts::ContextGen;
+use ccal_core::id::{Loc, Pid};
+use ccal_core::sim::SimRelation;
+use ccal_objects::ticket::{l0_interface, lock_low_interface, m1_module, TicketEnvPlayer};
+use std::sync::Arc;
+
+/// One row of the scaling comparison.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Schedule prefix length per participant.
+    pub schedule_len: usize,
+    /// Contexts a monolithic product exploration would need
+    /// (`2^(2·len)` for two participants).
+    pub monolithic_contexts: usize,
+    /// Contexts the compositional route explored (two per-participant
+    /// checks).
+    pub compositional_contexts: usize,
+    /// Wall time of the compositional certification (both participants +
+    /// `Pcomp`).
+    pub compositional_time: Duration,
+    /// Checking cases discharged.
+    pub cases: usize,
+}
+
+/// Runs the compositional ticket-lock certification at the given schedule
+/// length for both participants and parallel-composes them, reporting the
+/// explored-context accounting.
+///
+/// # Panics
+///
+/// Panics if certification fails — the configuration is expected to be
+/// correct.
+pub fn compositional_row(schedule_len: usize) -> ScalingRow {
+    let b = Loc(0);
+    let start = Instant::now();
+    let mut layers = Vec::new();
+    let mut contexts_used = 0;
+    for (me, other) in [(Pid(0), Pid(1)), (Pid(1), Pid(0))] {
+        let contexts = ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_player(other, Arc::new(TicketEnvPlayer::new(other, b, 1)))
+            .with_schedule_len(schedule_len)
+            .contexts();
+        contexts_used += contexts.len();
+        let opts = CheckOptions::new(contexts)
+            .with_workload("acq", vec![vec![ccal_core::val::Val::Loc(b)]])
+            .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]]);
+        let layer = check_fun(
+            &l0_interface(),
+            &m1_module().expect("M1 parses"),
+            &lock_low_interface(),
+            &SimRelation::identity(),
+            me,
+            &opts,
+        )
+        .expect("per-participant certification succeeds");
+        layers.push(layer);
+    }
+    let composed = pcomp(&layers[0], &layers[1]).expect("compatible layers");
+    let compositional_time = start.elapsed();
+    ScalingRow {
+        schedule_len,
+        monolithic_contexts: 2_usize.pow(2 * schedule_len as u32),
+        compositional_contexts: contexts_used,
+        compositional_time,
+        cases: composed.certificate.total_cases(),
+    }
+}
+
+/// Renders the comparison for a family of schedule lengths.
+pub fn render_scaling(lens: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "B1 — compositional vs. monolithic schedule-space exploration (2 participants)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>14} {:>16} {:>10} {:>12}",
+        "len", "monolithic", "compositional", "cases", "time"
+    );
+    for &len in lens {
+        let row = compositional_row(len);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>14} {:>16} {:>10} {:>12?}",
+            row.schedule_len,
+            row.monolithic_contexts,
+            row.compositional_contexts,
+            row.cases,
+            row.compositional_time
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositional_space_is_exponentially_smaller() {
+        let row = compositional_row(3);
+        assert_eq!(row.monolithic_contexts, 64);
+        assert_eq!(row.compositional_contexts, 16, "2 × 2^3");
+        assert!(row.cases > 0);
+        // The gap widens with the bound.
+        let row5 = compositional_row(5);
+        assert!(
+            row5.monolithic_contexts / row5.compositional_contexts
+                > row.monolithic_contexts / row.compositional_contexts
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Abstract syntax of ClightX.
+//!
+//! ClightX is the C-like source language of the layered toolkit: "CCAL ...
+//! supports layered concurrent programming in both C and assembly"
+//! (abstract); "code of each thread can be verified at the C level over
+//! `Lhtd[c][t]`" (§5.5). The language is a small C subset — integers,
+//! assignments, `if`/`while`/`break`, calls to functions and layer
+//! primitives, `return` — sufficient for every module in the paper
+//! (Figs. 3, 10, 11).
+//!
+//! Two syntactic levels exist:
+//!
+//! * **surface** — what the parser produces: calls may appear anywhere in
+//!   expressions (`while (get_n(b) != my_t) {}`);
+//! * **lowered** — what the interpreter and compiler consume: calls only
+//!   as statement right-hand sides, `&&`/`||` desugared, `while` loops
+//!   rewritten to `loop`+`break` with hoisted condition calls. See
+//!   [`crate::lower`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ccal_core::id::Loc;
+
+/// Binary operators. `&&`/`||` are surface-only (lowered to `if`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (C integer division, truncating)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (surface only; lowered before execution)
+    And,
+    /// `||` (surface only; lowered before execution)
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison (result is 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this operator is surface-only short-circuit logic.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation `!` (0 ↦ 1, nonzero ↦ 0).
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Not => write!(f, "!"),
+            UnOp::Neg => write!(f, "-"),
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// A location (shared-object handle) literal. Surface syntax `#N`.
+    LocConst(Loc),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binop(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unop(UnOp, Box<Expr>),
+    /// Function/primitive call — surface syntax only; the lowering pass
+    /// hoists these into [`Stmt::Call`].
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// Whether the expression contains any call node.
+    pub fn has_call(&self) -> bool {
+        match self {
+            Expr::Int(_) | Expr::LocConst(_) | Expr::Var(_) => false,
+            Expr::Binop(_, a, b) => a.has_call() || b.has_call(),
+            Expr::Unop(_, a) => a.has_call(),
+            Expr::Call(..) => true,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::LocConst(l) => write!(f, "#{}", l.0),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Binop(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Unop(op, a) => write!(f, "{op}({a})"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// No-op.
+    Skip,
+    /// `x = e;` (no calls in `e` after lowering).
+    Assign(String, Expr),
+    /// `x = f(a, b);` or `f(a, b);` — a call to a same-module function or
+    /// an ambient-layer primitive.
+    Call(Option<String>, String, Vec<Expr>),
+    /// Statement sequence.
+    Block(Vec<Stmt>),
+    /// `if (e) { .. } else { .. }`.
+    If(Expr, Box<Stmt>, Box<Stmt>),
+    /// Surface `while (e) { .. }` (lowered to [`Stmt::Loop`]).
+    While(Expr, Box<Stmt>),
+    /// Infinite loop, exited by `break` — the lowered form of `while`.
+    Loop(Box<Stmt>),
+    /// Exit the innermost loop.
+    Break,
+    /// `return e;` / `return;` (void functions return unit).
+    Return(Option<Expr>),
+}
+
+impl Stmt {
+    /// Builds a block, flattening nested blocks of one element.
+    pub fn block(stmts: Vec<Stmt>) -> Stmt {
+        match stmts.len() {
+            1 => stmts.into_iter().next().expect("len checked"),
+            _ => Stmt::Block(stmts),
+        }
+    }
+}
+
+/// A ClightX function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CFunction {
+    /// The function's name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Declared local variables (excluding parameters and compiler
+    /// temporaries).
+    pub locals: Vec<String>,
+    /// The body.
+    pub body: Stmt,
+    /// Whether the function is declared to return a value (`int` vs
+    /// `void`).
+    pub returns_value: bool,
+}
+
+/// A ClightX module: a collection of function definitions (the `M` of a
+/// certified layer, written in C).
+#[derive(Debug, Clone, Default)]
+pub struct CModule {
+    funcs: BTreeMap<String, Arc<CFunction>>,
+}
+
+impl CModule {
+    /// An empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function.
+    pub fn with_fn(mut self, func: CFunction) -> Self {
+        self.funcs.insert(func.name.clone(), Arc::new(func));
+        self
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, name: &str) -> Option<&Arc<CFunction>> {
+        self.funcs.get(name)
+    }
+
+    /// Function names, sorted.
+    pub fn fn_names(&self) -> Vec<&str> {
+        self.funcs.keys().map(String::as_str).collect()
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the module is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over functions in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<CFunction>> {
+        self.funcs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_call_detects_nested_calls() {
+        let e = Expr::Binop(
+            BinOp::Ne,
+            Box::new(Expr::Call("get_n".into(), vec![Expr::var("b")])),
+            Box::new(Expr::var("my_t")),
+        );
+        assert!(e.has_call());
+        assert!(!Expr::var("x").has_call());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::Binop(
+            BinOp::Add,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Unop(UnOp::Neg, Box::new(Expr::var("x")))),
+        );
+        assert_eq!(e.to_string(), "(1 + -(x))");
+    }
+
+    #[test]
+    fn block_flattens_singletons() {
+        let s = Stmt::block(vec![Stmt::Skip]);
+        assert_eq!(s, Stmt::Skip);
+        let s = Stmt::block(vec![Stmt::Skip, Stmt::Break]);
+        assert!(matches!(s, Stmt::Block(_)));
+    }
+
+    #[test]
+    fn module_collects_functions() {
+        let m = CModule::new().with_fn(CFunction {
+            name: "f".into(),
+            params: vec![],
+            locals: vec![],
+            body: Stmt::Return(None),
+            returns_value: false,
+        });
+        assert_eq!(m.fn_names(), vec!["f"]);
+        assert!(m.get("f").is_some());
+    }
+}

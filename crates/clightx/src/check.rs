@@ -1,0 +1,239 @@
+//! Static checks on lowered ClightX modules.
+//!
+//! The C verifier of the toolkit (Fig. 2) begins with well-formedness:
+//! every variable is declared, `break` appears only inside loops, internal
+//! calls have matching arity, `return e` only appears in value-returning
+//! functions, and the code is in lowered form. Violations are rejected
+//! before any simulation checking runs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{CFunction, CModule, Expr, Stmt};
+use crate::lower::stmt_is_lowered;
+
+/// A static error in a ClightX module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// The function containing the error.
+    pub func: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+struct Checker<'a> {
+    module: &'a CModule,
+    func: &'a CFunction,
+    vars: BTreeSet<&'a str>,
+    errors: Vec<CheckError>,
+}
+
+impl<'a> Checker<'a> {
+    fn error(&mut self, message: String) {
+        self.errors.push(CheckError {
+            func: self.func.name.clone(),
+            message,
+        });
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(_) | Expr::LocConst(_) => {}
+            Expr::Var(x) => {
+                if !self.vars.contains(x.as_str()) {
+                    self.error(format!("use of undeclared variable `{x}`"));
+                }
+            }
+            Expr::Unop(_, a) => self.expr(a),
+            Expr::Binop(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Call(name, _) => {
+                self.error(format!("call to `{name}` not in statement position"));
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, in_loop: bool) {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(x, e) => {
+                if !self.vars.contains(x.as_str()) {
+                    self.error(format!("assignment to undeclared variable `{x}`"));
+                }
+                self.expr(e);
+            }
+            Stmt::Call(dst, name, args) => {
+                if let Some(dst) = dst {
+                    if !self.vars.contains(dst.as_str()) {
+                        self.error(format!("call result stored in undeclared variable `{dst}`"));
+                    }
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                if let Some(callee) = self.module.get(name) {
+                    if callee.params.len() != args.len() {
+                        self.error(format!(
+                            "`{name}` expects {} arguments, called with {}",
+                            callee.params.len(),
+                            args.len()
+                        ));
+                    }
+                    if dst.is_some() && !callee.returns_value {
+                        self.error(format!("void function `{name}` used as a value"));
+                    }
+                }
+            }
+            Stmt::Block(v) => v.iter().for_each(|s| self.stmt(s, in_loop)),
+            Stmt::If(c, t, e) => {
+                self.expr(c);
+                self.stmt(t, in_loop);
+                self.stmt(e, in_loop);
+            }
+            Stmt::While(c, b) => {
+                self.expr(c);
+                self.stmt(b, true);
+            }
+            Stmt::Loop(b) => self.stmt(b, true),
+            Stmt::Break => {
+                if !in_loop {
+                    self.error("break outside of a loop".to_owned());
+                }
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                    if !self.func.returns_value {
+                        self.error("`return e;` in a void function".to_owned());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks one lowered function.
+///
+/// # Errors
+///
+/// All [`CheckError`]s found (the check does not stop at the first).
+pub fn check_function(module: &CModule, func: &CFunction) -> Result<(), Vec<CheckError>> {
+    let mut vars: BTreeSet<&str> = func.params.iter().map(String::as_str).collect();
+    vars.extend(func.locals.iter().map(String::as_str));
+    let mut checker = Checker {
+        module,
+        func,
+        vars,
+        errors: Vec::new(),
+    };
+    if !stmt_is_lowered(&func.body) {
+        checker.error("function body is not in lowered form".to_owned());
+    }
+    let body = func.body.clone();
+    checker.stmt(&body, false);
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(checker.errors)
+    }
+}
+
+/// Checks every function of a lowered module.
+///
+/// # Errors
+///
+/// All [`CheckError`]s across the module.
+pub fn check_module(module: &CModule) -> Result<(), Vec<CheckError>> {
+    let mut errors = Vec::new();
+    for f in module.iter() {
+        if let Err(mut es) = check_function(module, f) {
+            errors.append(&mut es);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use crate::parser::parse_module;
+
+    fn check_src(src: &str) -> Result<(), Vec<CheckError>> {
+        check_module(&lower_module(&parse_module(src).unwrap()))
+    }
+
+    #[test]
+    fn accepts_well_formed_code() {
+        check_src(
+            r#"
+            int helper(int x) { return x + 1; }
+            int f(int a) { int b = helper(a); while (b > 0) { b = b - 1; } return b; }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variables() {
+        let errs = check_src("int f() { return nope; }").unwrap_err();
+        assert!(errs[0].message.contains("undeclared variable `nope`"));
+        let errs = check_src("void f() { nope = 3; }").unwrap_err();
+        assert!(errs[0].message.contains("assignment to undeclared"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_on_internal_calls() {
+        let errs = check_src("int g(int x) { return x; } void f() { g(); }").unwrap_err();
+        assert!(errs[0].message.contains("expects 1 arguments"));
+    }
+
+    #[test]
+    fn rejects_value_use_of_void_function() {
+        let errs = check_src("void g() {} int f() { int x = g(); return x; }").unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("used as a value")));
+    }
+
+    #[test]
+    fn rejects_return_value_in_void_function() {
+        let errs = check_src("void f() { return 3; }").unwrap_err();
+        assert!(errs[0].message.contains("void function"));
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        // `break` at top level cannot be produced by the parser, so build
+        // the AST directly.
+        use crate::ast::{CFunction, Stmt};
+        let f = CFunction {
+            name: "f".into(),
+            params: vec![],
+            locals: vec![],
+            body: Stmt::Break,
+            returns_value: false,
+        };
+        let m = CModule::new().with_fn(f.clone());
+        let errs = check_function(&m, &f).unwrap_err();
+        assert!(errs[0].message.contains("break outside"));
+    }
+
+    #[test]
+    fn collects_multiple_errors() {
+        let errs = check_src("int f() { a = b; return c; }").unwrap_err();
+        assert!(errs.len() >= 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! Lowering from surface ClightX to the executable core form.
+//!
+//! Three rewrites, all standard C front-end fare:
+//!
+//! 1. **Call hoisting** — calls may appear anywhere in surface
+//!    expressions (`while (get_n(b) != my_t) {}`, Fig. 10); the lowered
+//!    form allows calls only as statement right-hand sides, so nested
+//!    calls are hoisted into fresh temporaries `$tN`. This fixes the
+//!    evaluation order and makes every call a potential query point the
+//!    interpreter and compiler can suspend at.
+//! 2. **Short-circuit desugaring** — `&&`/`||` become nested `if`s over a
+//!    temporary, preserving C's evaluation order (the right operand — and
+//!    any calls in it — is only evaluated when needed).
+//! 3. **Loop normalization** — `while (c) { .. }` becomes
+//!    `loop { <hoisted c>; if (!c') break; .. }`, so the condition's calls
+//!    re-execute on every iteration.
+
+use crate::ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+
+struct Lowerer {
+    counter: u32,
+    temps: Vec<String>,
+}
+
+impl Lowerer {
+    fn fresh(&mut self) -> String {
+        let name = format!("$t{}", self.counter);
+        self.counter += 1;
+        self.temps.push(name.clone());
+        name
+    }
+
+    /// Lowers an expression, appending prelude statements to `out`;
+    /// the returned expression is call-free and logic-free.
+    fn expr(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Int(_) | Expr::LocConst(_) | Expr::Var(_) => e.clone(),
+            Expr::Unop(op, a) => {
+                let a = self.expr(a, out);
+                Expr::Unop(*op, Box::new(a))
+            }
+            Expr::Binop(BinOp::And, a, b) => self.short_circuit(a, b, true, out),
+            Expr::Binop(BinOp::Or, a, b) => self.short_circuit(a, b, false, out),
+            Expr::Binop(op, a, b) => {
+                let a = self.expr(a, out);
+                let b = self.expr(b, out);
+                Expr::Binop(*op, Box::new(a), Box::new(b))
+            }
+            Expr::Call(name, args) => {
+                let args: Vec<Expr> = args.iter().map(|a| self.expr(a, out)).collect();
+                let t = self.fresh();
+                out.push(Stmt::Call(Some(t.clone()), name.clone(), args));
+                Expr::Var(t)
+            }
+        }
+    }
+
+    /// `a && b` (is_and) or `a || b`: a temporary plus nested `if`s, with
+    /// `b`'s prelude confined to the branch where `b` is evaluated.
+    fn short_circuit(&mut self, a: &Expr, b: &Expr, is_and: bool, out: &mut Vec<Stmt>) -> Expr {
+        let t = self.fresh();
+        let a = self.expr(a, out);
+        let mut b_prelude = Vec::new();
+        let b = self.expr(b, &mut b_prelude);
+        // Branch that evaluates b: t = (b != 0).
+        let mut eval_b = b_prelude;
+        eval_b.push(Stmt::Assign(
+            t.clone(),
+            Expr::Binop(BinOp::Ne, Box::new(b), Box::new(Expr::Int(0))),
+        ));
+        let eval_b = Stmt::Block(eval_b);
+        let (then_branch, else_branch) = if is_and {
+            // a && b: if (a) { eval b } else { t = 0 }
+            (eval_b, Stmt::Assign(t.clone(), Expr::Int(0)))
+        } else {
+            // a || b: if (a) { t = 1 } else { eval b }
+            (Stmt::Assign(t.clone(), Expr::Int(1)), eval_b)
+        };
+        out.push(Stmt::If(a, Box::new(then_branch), Box::new(else_branch)));
+        Expr::Var(t)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(x, e) => {
+                let e = self.expr(e, out);
+                out.push(Stmt::Assign(x.clone(), e));
+            }
+            Stmt::Call(dst, name, args) => {
+                let args: Vec<Expr> = args.iter().map(|a| self.expr(a, out)).collect();
+                out.push(Stmt::Call(dst.clone(), name.clone(), args));
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s, out);
+                }
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                let cond = self.expr(cond, out);
+                let mut t = Vec::new();
+                self.stmt(then_branch, &mut t);
+                let mut e = Vec::new();
+                self.stmt(else_branch, &mut e);
+                out.push(Stmt::If(
+                    cond,
+                    Box::new(Stmt::Block(t)),
+                    Box::new(Stmt::Block(e)),
+                ));
+            }
+            Stmt::While(cond, body) => {
+                // loop { <cond prelude>; if (!cond') break; <body> }
+                let mut inner = Vec::new();
+                let cond = self.expr(cond, &mut inner);
+                // `while (1)` (and any nonzero constant) needs no break
+                // check — this also makes printing a `Loop` as
+                // `while (1)` a lowering fixed point.
+                let trivially_true = matches!(cond, Expr::Int(i) if i != 0);
+                if !trivially_true {
+                    inner.push(Stmt::If(
+                        Expr::Unop(UnOp::Not, Box::new(cond)),
+                        Box::new(Stmt::Break),
+                        Box::new(Stmt::Skip),
+                    ));
+                }
+                self.stmt(body, &mut inner);
+                out.push(Stmt::Loop(Box::new(Stmt::Block(inner))));
+            }
+            Stmt::Loop(body) => {
+                let mut inner = Vec::new();
+                self.stmt(body, &mut inner);
+                out.push(Stmt::Loop(Box::new(Stmt::Block(inner))));
+            }
+            Stmt::Break => out.push(Stmt::Break),
+            Stmt::Return(None) => out.push(Stmt::Return(None)),
+            Stmt::Return(Some(e)) => {
+                let e = self.expr(e, out);
+                out.push(Stmt::Return(Some(e)));
+            }
+        }
+    }
+}
+
+/// Lowers one function: hoists calls, desugars short-circuit logic and
+/// `while` loops, and appends the generated temporaries to the locals.
+pub fn lower_function(f: &CFunction) -> CFunction {
+    let mut lw = Lowerer {
+        counter: 0,
+        temps: Vec::new(),
+    };
+    let mut body = Vec::new();
+    lw.stmt(&f.body, &mut body);
+    let mut locals = f.locals.clone();
+    locals.extend(lw.temps);
+    CFunction {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        locals,
+        body: Stmt::Block(body),
+        returns_value: f.returns_value,
+    }
+}
+
+/// Lowers every function of a module.
+pub fn lower_module(m: &CModule) -> CModule {
+    let mut out = CModule::new();
+    for f in m.iter() {
+        out = out.with_fn(lower_function(f));
+    }
+    out
+}
+
+/// Whether an expression is in lowered form (no calls, no `&&`/`||`).
+pub fn expr_is_lowered(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::LocConst(_) | Expr::Var(_) => true,
+        Expr::Unop(_, a) => expr_is_lowered(a),
+        Expr::Binop(op, a, b) => !op.is_logical() && expr_is_lowered(a) && expr_is_lowered(b),
+        Expr::Call(..) => false,
+    }
+}
+
+/// Whether a statement tree is in lowered form (no `while`, all
+/// expressions lowered).
+pub fn stmt_is_lowered(s: &Stmt) -> bool {
+    match s {
+        Stmt::Skip | Stmt::Break | Stmt::Return(None) => true,
+        Stmt::Assign(_, e) | Stmt::Return(Some(e)) => expr_is_lowered(e),
+        Stmt::Call(_, _, args) => args.iter().all(expr_is_lowered),
+        Stmt::Block(v) => v.iter().all(stmt_is_lowered),
+        Stmt::If(c, t, e) => expr_is_lowered(c) && stmt_is_lowered(t) && stmt_is_lowered(e),
+        Stmt::While(..) => false,
+        Stmt::Loop(b) => stmt_is_lowered(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn lowered(src: &str) -> CModule {
+        lower_module(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn lowering_produces_lowered_form() {
+        let m = lowered(
+            r#"
+            void acq(int b) {
+                int my_t;
+                my_t = fai_t(b);
+                while (get_n(b) != my_t) {}
+                hold(b);
+            }
+            int both(int x) { return f(x) && g(x); }
+            "#,
+        );
+        for f in m.iter() {
+            assert!(stmt_is_lowered(&f.body), "{} not lowered", f.name);
+        }
+    }
+
+    #[test]
+    fn while_condition_calls_reexecute_each_iteration() {
+        let m = lowered("void f(int b) { while (get_n(b) != 0) {} }");
+        let f = m.get("f").unwrap();
+        // The loop body must contain the hoisted get_n call.
+        fn find_loop(s: &Stmt) -> Option<&Stmt> {
+            match s {
+                Stmt::Loop(b) => Some(b),
+                Stmt::Block(v) => v.iter().find_map(find_loop),
+                _ => None,
+            }
+        }
+        let body = find_loop(&f.body).expect("a loop");
+        let Stmt::Block(v) = body else { panic!() };
+        assert!(
+            matches!(&v[0], Stmt::Call(Some(_), name, _) if name == "get_n"),
+            "loop begins by re-calling get_n, got {:?}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn temps_are_added_to_locals() {
+        let m = lowered("int f(int x) { return g(x) + h(x); }");
+        let f = m.get("f").unwrap();
+        assert!(f.locals.iter().any(|l| l.starts_with("$t")));
+        assert!(f.locals.len() >= 2, "two hoisted calls");
+    }
+
+    #[test]
+    fn short_circuit_confines_rhs_calls() {
+        let m = lowered("int f(int x) { return x != 0 && g(x); }");
+        let f = m.get("f").unwrap();
+        // g must only be called inside an if-branch, not unconditionally.
+        fn top_level_calls(s: &Stmt, acc: &mut Vec<String>) {
+            match s {
+                Stmt::Call(_, name, _) => acc.push(name.clone()),
+                Stmt::Block(v) => v.iter().for_each(|s| top_level_calls(s, acc)),
+                _ => {}
+            }
+        }
+        let mut calls = Vec::new();
+        top_level_calls(&f.body, &mut calls);
+        assert!(
+            !calls.contains(&"g".to_owned()),
+            "g hoisted to top level: short-circuit broken"
+        );
+    }
+
+    #[test]
+    fn lowering_is_idempotent_on_lowered_code() {
+        let m1 = lowered("int f(int x) { int y = g(x); return y + 1; }");
+        let m2 = lower_module(&m1);
+        let f1 = m1.get("f").unwrap();
+        let f2 = m2.get("f").unwrap();
+        assert_eq!(f1.body, f2.body);
+    }
+}

@@ -1,0 +1,664 @@
+//! A recursive-descent parser for ClightX surface syntax.
+//!
+//! The concrete syntax is the C subset the paper's figures are written in
+//! (Figs. 3, 10, 11), e.g.:
+//!
+//! ```c
+//! void acq(int b) {
+//!     int my_t;
+//!     my_t = fai_t(b);
+//!     while (get_n(b) != my_t) {}
+//!     hold(b);
+//! }
+//! ```
+//!
+//! Extensions: `#N` is a location literal (a shared-object handle), and
+//! declarations may carry initializers. Types are `int` and `void`; since
+//! ClightX values are dynamically checked, `int` doubles as the handle
+//! type (as `uint` does in the paper's pseudocode).
+
+use std::fmt;
+
+use ccal_core::id::Loc;
+
+use crate::ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+
+/// A parse error with (1-based) line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    LocLit(u32),
+    Punct(&'static str),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::LocLit(l) => write!(f, "location `#{l}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+const PUNCTS: [&str; 22] = [
+    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", ",", ";", "=", "<", ">", "+", "-",
+    "*", "/", "%", "!", "#",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let c = match self.peek() {
+            None => return Ok((Tok::Eof, line, col)),
+            Some(c) => c,
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            let word = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii identifier")
+                .to_owned();
+            return Ok((Tok::Ident(word), line, col));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("integer literal `{text}` out of range")))?;
+            return Ok((Tok::Int(value), line, col));
+        }
+        if c == b'#' {
+            self.bump();
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            if start == self.pos {
+                return Err(self.error("expected digits after `#` location literal"));
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+            let value: u32 = text
+                .parse()
+                .map_err(|_| self.error(format!("location literal `#{text}` out of range")))?;
+            return Ok((Tok::LocLit(value), line, col));
+        }
+        for p in PUNCTS {
+            if p.len() == 2
+                && self.src[self.pos..].starts_with(p.as_bytes()) {
+                    self.bump();
+                    self.bump();
+                    return Ok((Tok::Punct(p), line, col));
+                }
+        }
+        for p in PUNCTS {
+            if p.len() == 1 && self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.bump();
+                return Ok((Tok::Punct(p), line, col));
+            }
+        }
+        Err(self.error(format!("unexpected character `{}`", c as char)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    idx: usize,
+    /// Locals of the function currently being parsed (declarations are
+    /// allowed in any statement position, with C-style function scope).
+    locals: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].0
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let (_, line, col) = self.toks[self.idx];
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.idx].0.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek() == &Tok::Punct(p) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn try_punct(&mut self, p: &'static str) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn is_type_keyword(word: &str) -> bool {
+        matches!(word, "int" | "void" | "uint")
+    }
+
+    fn module(&mut self) -> Result<CModule, ParseError> {
+        let mut module = CModule::new();
+        while self.peek() != &Tok::Eof {
+            module = module.with_fn(self.fundef()?);
+        }
+        Ok(module)
+    }
+
+    fn fundef(&mut self) -> Result<CFunction, ParseError> {
+        let ty = self.ident()?;
+        if !Self::is_type_keyword(&ty) {
+            return Err(self.error_here(format!("expected return type, found `{ty}`")));
+        }
+        let returns_value = ty != "void";
+        let name = self.ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !self.try_punct(")") {
+            loop {
+                let pty = self.ident()?;
+                if !Self::is_type_keyword(&pty) {
+                    return Err(self.error_here(format!("expected parameter type, found `{pty}`")));
+                }
+                params.push(self.ident()?);
+                if !self.try_punct(",") {
+                    break;
+                }
+            }
+            self.eat_punct(")")?;
+        }
+        self.eat_punct("{")?;
+        self.locals.clear();
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            let s = self.stmt()?;
+            if s != Stmt::Skip {
+                stmts.push(s);
+            }
+        }
+        Ok(CFunction {
+            name,
+            params,
+            locals: std::mem::take(&mut self.locals),
+            body: Stmt::Block(stmts),
+            returns_value,
+        })
+    }
+
+    fn finish_assign(&mut self, var: String, rhs: Expr) -> Result<Stmt, ParseError> {
+        self.eat_punct(";")?;
+        Ok(match rhs {
+            Expr::Call(name, args) => Stmt::Call(Some(var), name, args),
+            e => Stmt::Assign(var, e),
+        })
+    }
+
+    fn block(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            let s = self.stmt()?;
+            if s != Stmt::Skip {
+                stmts.push(s);
+            }
+        }
+        Ok(Stmt::Block(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("{") => self.block(),
+            Tok::Punct(";") => {
+                self.advance();
+                Ok(Stmt::Skip)
+            }
+            Tok::Ident(word) => match word.as_str() {
+                "if" => {
+                    self.advance();
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let then_branch = self.block()?;
+                    let else_branch = if matches!(self.peek(), Tok::Ident(w) if w == "else") {
+                        self.advance();
+                        if matches!(self.peek(), Tok::Ident(w) if w == "if") {
+                            self.stmt()?
+                        } else {
+                            self.block()?
+                        }
+                    } else {
+                        Stmt::Skip
+                    };
+                    Ok(Stmt::If(cond, Box::new(then_branch), Box::new(else_branch)))
+                }
+                "while" => {
+                    self.advance();
+                    self.eat_punct("(")?;
+                    let cond = self.expr()?;
+                    self.eat_punct(")")?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(cond, Box::new(body)))
+                }
+                "return" => {
+                    self.advance();
+                    if self.try_punct(";") {
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let e = self.expr()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Return(Some(e)))
+                    }
+                }
+                "break" => {
+                    self.advance();
+                    self.eat_punct(";")?;
+                    Ok(Stmt::Break)
+                }
+                _ if Self::is_type_keyword(&word) => {
+                    // Declaration (allowed anywhere; function scope).
+                    self.advance();
+                    let var = self.ident()?;
+                    self.locals.push(var.clone());
+                    if self.try_punct("=") {
+                        let init = self.expr()?;
+                        self.finish_assign(var, init)
+                    } else {
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Skip)
+                    }
+                }
+                _ => {
+                    // Assignment or expression-statement call.
+                    let name = self.ident()?;
+                    if self.try_punct("=") {
+                        let rhs = self.expr()?;
+                        self.finish_assign(name, rhs)
+                    } else if self.peek() == &Tok::Punct("(") {
+                        let args = self.call_args()?;
+                        self.eat_punct(";")?;
+                        Ok(Stmt::Call(None, name, args))
+                    } else {
+                        Err(self.error_here(format!(
+                            "expected `=` or `(` after `{name}`, found {}",
+                            self.peek()
+                        )))
+                    }
+                }
+            },
+            other => Err(self.error_here(format!("expected statement, found {other}"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.eat_punct("(")?;
+        let mut args = Vec::new();
+        if self.try_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if !self.try_punct(",") {
+                break;
+            }
+        }
+        self.eat_punct(")")?;
+        Ok(args)
+    }
+
+    // Precedence climbing: || < && < comparisons < additive < multiplicative < unary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.try_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binop(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.try_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binop(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("==") => BinOp::Eq,
+                Tok::Punct("!=") => BinOp::Ne,
+                Tok::Punct("<") => BinOp::Lt,
+                Tok::Punct("<=") => BinOp::Le,
+                Tok::Punct(">") => BinOp::Gt,
+                Tok::Punct(">=") => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.try_punct("!") {
+            return Ok(Expr::Unop(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.try_punct("-") {
+            return Ok(Expr::Unop(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.advance();
+                Ok(Expr::Int(i))
+            }
+            Tok::LocLit(l) => {
+                self.advance();
+                Ok(Expr::LocConst(Loc(l)))
+            }
+            Tok::Punct("(") => {
+                self.advance();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.advance();
+                if self.peek() == &Tok::Punct("(") {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error_here(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses a ClightX module from source text.
+///
+/// # Errors
+///
+/// [`ParseError`] with source position on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let m = ccal_clightx::parser::parse_module(
+///     "int add(int a, int b) { return a + b; }",
+/// )?;
+/// assert_eq!(m.fn_names(), vec!["add"]);
+/// # Ok::<(), ccal_clightx::parser::ParseError>(())
+/// ```
+pub fn parse_module(src: &str) -> Result<CModule, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lexer.next_token()?;
+        let eof = t.0 == Tok::Eof;
+        toks.push(t);
+        if eof {
+            break;
+        }
+    }
+    let mut parser = Parser {
+        toks,
+        idx: 0,
+        locals: Vec::new(),
+    };
+    let module = parser.module()?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig3_style_function() {
+        let src = r#"
+            // The ticket-lock acquire of Fig. 3 / Fig. 10.
+            void acq(int b) {
+                int my_t;
+                my_t = fai_t(b);
+                while (get_n(b) != my_t) {}
+                hold(b);
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let f = m.get("acq").unwrap();
+        assert_eq!(f.params, vec!["b"]);
+        assert_eq!(f.locals, vec!["my_t"]);
+        assert!(!f.returns_value);
+    }
+
+    #[test]
+    fn parses_declarations_with_initializers() {
+        let m = parse_module("int f() { int x = 3; int y = x + 1; return y; }").unwrap();
+        let f = m.get("f").unwrap();
+        assert_eq!(f.locals, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn parses_if_else_chains_and_logic() {
+        let src = r#"
+            int sign(int x) {
+                if (x > 0) { return 1; }
+                else if (x == 0 || x == -0) { return 0; }
+                else { return -1; }
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert!(m.get("sign").is_some());
+    }
+
+    #[test]
+    fn parses_loc_literals_and_comments() {
+        let src = "/* lock handle */ void f() { acq(#7); }";
+        let m = parse_module(src).unwrap();
+        let f = m.get("f").unwrap();
+        assert!(matches!(
+            &f.body,
+            Stmt::Block(v) if matches!(&v[0], Stmt::Call(None, name, args)
+                if name == "acq" && args == &vec![Expr::LocConst(Loc(7))])
+        ));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let m = parse_module("int f() { return 1 + 2 * 3 == 7; }").unwrap();
+        let f = m.get("f").unwrap();
+        let Stmt::Block(v) = &f.body else { panic!() };
+        let Stmt::Return(Some(e)) = &v[0] else { panic!() };
+        assert_eq!(e.to_string(), "((1 + (2 * 3)) == 7)");
+    }
+
+    #[test]
+    fn reports_position_on_error() {
+        let err = parse_module("void f() { x ; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected `=` or `(`"));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(parse_module("/* oops").is_err());
+    }
+
+    #[test]
+    fn parses_multiple_functions() {
+        let m = parse_module("void f() {} void g() { f(); }").unwrap();
+        assert_eq!(m.fn_names(), vec!["f", "g"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ccal-compcertx — the thread-safe verified-compiler substitute
+//!
+//! The compilation side of CCAL (§5.5): "a new thread-safe version of the
+//! CompCertX compiler that can compile certified concurrent C layers into
+//! assembly layers", together with the "new extended algebraic memory
+//! model ... whereby stack frames allocated for each thread are combined
+//! to form a single coherent CompCert-style memory" (§1).
+//!
+//! * [`compile`] — the ClightX → layered-assembly code generator;
+//! * [`validate`] — per-function translation validation over the layer
+//!   machine (the executable substitute for the Coq correctness proof);
+//! * [`memalg`] — the algebraic memory model `⊛` with the Fig. 12 axioms
+//!   as property-checked theorems;
+//! * [`link`] — thread-safe linking: placeholder-block stack-frame
+//!   alignment and the N-thread composition check.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod link;
+pub mod memalg;
+pub mod validate;
+
+pub use compile::{compile_function, compile_module, CompileError};
+pub use link::{simulate_threaded_linking, LinkOutcome, ThreadTrace};
+pub use memalg::{alloc, compose, compose_n, ld, liftnb, st};
+pub use validate::{compcertx, compile_and_validate, CompiledModule, ValidateOptions};

@@ -1,0 +1,262 @@
+//! The algebraic memory model (Fig. 12).
+//!
+//! Thread-safe linking needs to account for stack frames: "we can prove
+//! that a ternary relation `m1 ⊛ m2 ≃ m` holds between the private memory
+//! states `m1, m2` of two disjoint thread sets and the thread-shared
+//! memory state `m` after the parallel composition. This relation among
+//! memory states is called the 'algebraic memory model', which is defined
+//! by the axioms shown in Fig. 12" (§5.5).
+//!
+//! Here `⊛` is implemented as the executable [`compose`] (defined exactly
+//! when no block is live on both sides), and every axiom of Fig. 12 —
+//! `Nb`, `Comm`, `Ld`, `St`, `Alloc`, `Lift-R`, `Lift-L` — is a theorem
+//! *checked* by the property tests in this module and regenerated as
+//! experiment F12 by the benchmark harness.
+
+use ccal_core::val::Val;
+use ccal_machine::mem::{Addr, Block, MemError, Memory};
+
+/// The parallel memory composition `m1 ⊛ m2` (§5.5): defined when every
+/// block index is live in at most one operand (the other side holding an
+/// empty placeholder or no block at all — "every non-shared memory block
+/// of `m1` either does not exist in `m2` or corresponds to an empty block
+/// in `m2`, and vice versa"). The result has `max(nb(m1), nb(m2))` blocks
+/// (rule `Nb`), taking each live block from whichever side owns it.
+pub fn compose(m1: &Memory, m2: &Memory) -> Option<Memory> {
+    let nb = m1.nb().max(m2.nb());
+    let mut out = Memory::new();
+    for b in 0..nb {
+        match (m1.block(b), m2.block(b)) {
+            (Some(Block::Live(_)), Some(Block::Live(_))) => return None,
+            (Some(Block::Live(data)), _) | (_, Some(Block::Live(data))) => {
+                let id = out.alloc(data.len());
+                for (off, v) in data.iter().enumerate() {
+                    out.store(Addr::new(id, off as u32), v.clone())
+                        .expect("freshly allocated block");
+                }
+            }
+            _ => {
+                out.liftnb(1);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// N-ary composition, the generalization at the end of §5.5: `m` composes
+/// `m1, ..., mN` iff there is an `m′` composing `m1, ..., m(N-1)` with
+/// `mN ⊛ m′ ≃ m`. Returns `None` if any pairwise composition is undefined.
+pub fn compose_n(mems: &[Memory]) -> Option<Memory> {
+    let mut acc = Memory::new();
+    for m in mems {
+        acc = compose(m, &acc)?;
+    }
+    Some(acc)
+}
+
+/// `ld(m, ℓ)` of Fig. 12, as a convenience re-export of memory load.
+///
+/// # Errors
+///
+/// See [`Memory::load`].
+pub fn ld(m: &Memory, addr: Addr) -> Result<Val, MemError> {
+    m.load(addr)
+}
+
+/// `st(m, ℓ, v)` of Fig. 12: functional store (clones the memory).
+///
+/// # Errors
+///
+/// See [`Memory::store`].
+pub fn st(m: &Memory, addr: Addr, v: Val) -> Result<Memory, MemError> {
+    let mut out = m.clone();
+    out.store(addr, v)?;
+    Ok(out)
+}
+
+/// Functional `alloc`: returns the extended memory and the fresh block id.
+pub fn alloc(m: &Memory, size: usize) -> (Memory, u32) {
+    let mut out = m.clone();
+    let b = out.alloc(size);
+    (out, b)
+}
+
+/// Functional `liftnb(m, n)`.
+pub fn liftnb(m: &Memory, n: u32) -> Memory {
+    let mut out = m.clone();
+    out.liftnb(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A generated compatible pair: a layout deciding, per block index,
+    /// whether it is live in m1, live in m2, or a placeholder in both —
+    /// plus independent tails.
+    fn compatible_pair() -> impl Strategy<Value = (Memory, Memory)> {
+        let cell = prop_oneof![Just(0_u8), Just(1), Just(2)];
+        (
+            proptest::collection::vec((cell, 1_usize..4, -8_i64..8), 0..8),
+            0_u32..3,
+            0_u32..3,
+        )
+            .prop_map(|(layout, tail1, tail2)| {
+                let mut m1 = Memory::new();
+                let mut m2 = Memory::new();
+                for (side, size, seed) in layout {
+                    match side {
+                        1 => {
+                            let b = m1.alloc(size);
+                            m1.store(Addr::new(b, 0), Val::Int(seed)).unwrap();
+                            m2.liftnb(1);
+                        }
+                        2 => {
+                            let b = m2.alloc(size);
+                            m2.store(Addr::new(b, 0), Val::Int(seed)).unwrap();
+                            m1.liftnb(1);
+                        }
+                        _ => {
+                            m1.liftnb(1);
+                            m2.liftnb(1);
+                        }
+                    }
+                }
+                m1.liftnb(tail1);
+                m2.liftnb(tail2);
+                (m1, m2)
+            })
+    }
+
+    proptest! {
+        /// Rule Nb: nb(m) = max(nb(m1), nb(m2)).
+        #[test]
+        fn axiom_nb((m1, m2) in compatible_pair()) {
+            let m = compose(&m1, &m2).expect("compatible by construction");
+            prop_assert_eq!(m.nb(), m1.nb().max(m2.nb()));
+        }
+
+        /// Rule Comm: composition is commutative.
+        #[test]
+        fn axiom_comm((m1, m2) in compatible_pair()) {
+            prop_assert_eq!(compose(&m1, &m2), compose(&m2, &m1));
+        }
+
+        /// Rule Ld: loads from m2 are preserved by the composition.
+        #[test]
+        fn axiom_ld((m1, m2) in compatible_pair()) {
+            let m = compose(&m1, &m2).unwrap();
+            for (b, block) in m2.iter() {
+                if let Block::Live(data) = block {
+                    for off in 0..data.len() as u32 {
+                        let addr = Addr::new(b, off);
+                        prop_assert_eq!(ld(&m2, addr).unwrap(), ld(&m, addr).unwrap());
+                    }
+                }
+            }
+        }
+
+        /// Rule St: stores into m2 commute with composition.
+        #[test]
+        fn axiom_st((m1, m2) in compatible_pair()) {
+            let m = compose(&m1, &m2).unwrap();
+            for (b, block) in m2.iter() {
+                if let Block::Live(data) = block {
+                    if !data.is_empty() {
+                        let addr = Addr::new(b, 0);
+                        let lhs = compose(&m1, &st(&m2, addr, Val::Int(99)).unwrap()).unwrap();
+                        let rhs = st(&m, addr, Val::Int(99)).unwrap();
+                        prop_assert_eq!(lhs, rhs);
+                    }
+                }
+            }
+        }
+
+        /// Rule Alloc: when nb(m1) ≤ nb(m2), allocation on m2 commutes
+        /// with composition.
+        #[test]
+        fn axiom_alloc((m1, m2) in compatible_pair(), size in 1_usize..4) {
+            prop_assume!(m1.nb() <= m2.nb());
+            let m = compose(&m1, &m2).unwrap();
+            let (m2a, b2) = alloc(&m2, size);
+            let (ma, bm) = alloc(&m, size);
+            prop_assert_eq!(b2, bm, "fresh block ids agree");
+            prop_assert_eq!(compose(&m1, &m2a).unwrap(), ma);
+        }
+
+        /// Rule Lift-R: when nb(m1) ≤ nb(m2), lifting m2 commutes with
+        /// composition.
+        #[test]
+        fn axiom_lift_r((m1, m2) in compatible_pair(), n in 0_u32..4) {
+            prop_assume!(m1.nb() <= m2.nb());
+            let m = compose(&m1, &m2).unwrap();
+            prop_assert_eq!(compose(&m1, &liftnb(&m2, n)).unwrap(), liftnb(&m, n));
+        }
+
+        /// Rule Lift-L: when nb(m1) ≤ nb(m2), lifting m1 by n lifts the
+        /// composition by n - (nb(m) - nb(m1)).
+        #[test]
+        fn axiom_lift_l((m1, m2) in compatible_pair(), extra in 0_u32..4) {
+            prop_assume!(m1.nb() <= m2.nb());
+            let m = compose(&m1, &m2).unwrap();
+            // Ensure the rule's arithmetic is well-defined: n must cover
+            // the gap nb(m) - nb(m1).
+            let n = (m.nb() - m1.nb()) + extra;
+            let lhs = compose(&liftnb(&m1, n), &m2).unwrap();
+            let rhs = liftnb(&m, n - (m.nb() - m1.nb()));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        /// N-ary composition agrees with iterated pairwise composition on
+        /// disjointly-live families.
+        #[test]
+        fn compose_n_generalizes(layout in proptest::collection::vec(0_u8..3, 0..9)) {
+            // Three thread memories, block i live in exactly thread layout[i].
+            let mut mems = vec![Memory::new(), Memory::new(), Memory::new()];
+            for (i, owner) in layout.iter().enumerate() {
+                for (t, m) in mems.iter_mut().enumerate() {
+                    if t as u8 == *owner {
+                        let b = m.alloc(1);
+                        m.store(Addr::new(b, 0), Val::Int(i as i64)).unwrap();
+                    } else {
+                        m.liftnb(1);
+                    }
+                }
+            }
+            let all = compose_n(&mems).expect("disjointly live");
+            prop_assert_eq!(all.nb() as usize, layout.len());
+            for (i, owner) in layout.iter().enumerate() {
+                let addr = Addr::new(i as u32, 0);
+                prop_assert_eq!(ld(&mems[*owner as usize], addr).unwrap(), ld(&all, addr).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn doubly_live_blocks_are_incomposable() {
+        let mut m1 = Memory::new();
+        m1.alloc(1);
+        let mut m2 = Memory::new();
+        m2.alloc(1);
+        assert_eq!(compose(&m1, &m2), None);
+    }
+
+    #[test]
+    fn empty_memories_compose_to_empty() {
+        let m = compose(&Memory::new(), &Memory::new()).unwrap();
+        assert_eq!(m.nb(), 0);
+    }
+
+    #[test]
+    fn placeholder_only_sides_yield_placeholders() {
+        let mut m1 = Memory::new();
+        m1.liftnb(3);
+        let mut m2 = Memory::new();
+        m2.liftnb(1);
+        let m = compose(&m1, &m2).unwrap();
+        assert_eq!(m.nb(), 3);
+        assert!(m.block(0).unwrap().is_empty_placeholder());
+    }
+}

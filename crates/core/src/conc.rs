@@ -1,0 +1,416 @@
+//! The multi-participant game machine.
+//!
+//! The layer machine over `L[A]` with several focused participants "will
+//! run `P` when the control is transferred to any member of `A`, but will
+//! ask `E` for the next move when the control is transferred to the
+//! environment" (§2). [`ConcurrentMachine`] implements that game: each
+//! focused participant runs a program (a sequence of primitive calls); the
+//! scheduler strategy decides whose in-flight [`PrimRun`] advances to its
+//! next query point; environment participants contribute their strategies'
+//! events.
+//!
+//! Interleaving granularity follows §3.2 exactly: instructions and private
+//! primitives are silent and uninterruptible; control can change hands only
+//! at *query points*, i.e. just before shared primitives — and not even
+//! there while the participant is in the critical state (§2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::abs::AbsState;
+use crate::env::EnvContext;
+use crate::event::EventKind;
+use crate::id::{Pid, PidSet};
+use crate::layer::{LayerInterface, PrimCtx, PrimRun, PrimStep};
+use crate::log::Log;
+use crate::machine::MachineError;
+use crate::strategy::StrategyMove;
+use crate::val::Val;
+
+/// A straight-line program for one focused participant: a sequence of
+/// primitive calls. This matches the client programs of the paper's
+/// walkthrough (Fig. 3: `T1() { foo(); }`).
+pub type ThreadScript = Vec<(String, Vec<Val>)>;
+
+/// The result of running a multi-participant game to completion.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// The final global log.
+    pub log: Log,
+    /// The final abstract state.
+    pub abs: AbsState,
+    /// Return values of each participant's calls, in program order.
+    pub rets: BTreeMap<Pid, Vec<Val>>,
+    /// Number of scheduler decisions taken.
+    pub turns: u64,
+}
+
+struct Player {
+    script: ThreadScript,
+    next_call: usize,
+    run: Option<Box<dyn PrimRun>>,
+    rets: Vec<Val>,
+    done: bool,
+}
+
+/// The machine for a focused set `A` over an interface `L`, with an
+/// environment context for the scheduler and all non-focused participants.
+pub struct ConcurrentMachine {
+    iface: LayerInterface,
+    focused: PidSet,
+    env: EnvContext,
+    fuel: u64,
+}
+
+impl ConcurrentMachine {
+    /// Default scheduler-decision budget.
+    pub const DEFAULT_FUEL: u64 = 200_000;
+
+    /// Creates a game machine over `iface` focused on `focused`, with
+    /// environment context `env` (scheduler + strategies of participants
+    /// outside `focused`).
+    pub fn new(iface: LayerInterface, focused: PidSet, env: EnvContext) -> Self {
+        Self {
+            iface,
+            focused,
+            env,
+            fuel: Self::DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the turn budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs the game: every focused participant executes its script to
+    /// completion under the environment context's schedule.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::Stuck`] and friends if any participant's run
+    ///   fails;
+    /// * [`MachineError::GuaranteeViolated`] if a focused step breaks the
+    ///   guarantee;
+    /// * [`MachineError::RelyViolated`] / unfair [`MachineError::Env`] when
+    ///   the context is invalid (callers treat these as vacuous);
+    /// * [`MachineError::OutOfFuel`] if the game does not finish within the
+    ///   turn budget (livelock / starvation).
+    pub fn run(
+        &self,
+        programs: &BTreeMap<Pid, ThreadScript>,
+    ) -> Result<ConcurrentOutcome, MachineError> {
+        for pid in programs.keys() {
+            assert!(
+                self.focused.contains(*pid),
+                "program given for non-focused participant {pid}"
+            );
+        }
+        let mut players: BTreeMap<Pid, Player> = self
+            .focused
+            .iter()
+            .map(|pid| {
+                let script = programs.get(&pid).cloned().unwrap_or_default();
+                let done = script.is_empty();
+                (
+                    pid,
+                    Player {
+                        script,
+                        next_call: 0,
+                        run: None,
+                        rets: Vec::new(),
+                        done,
+                    },
+                )
+            })
+            .collect();
+        let mut log = Log::new();
+        let mut abs = self.iface.init_abs.clone();
+        let mut turns = 0_u64;
+        // Stall detection: if no observable progress (non-scheduling
+        // events, completed calls, finished players) happens for this many
+        // consecutive turns, the game is livelocked — report starvation
+        // early instead of burning the whole budget on scheduling events.
+        let stall_limit: u64 = 64 * (self.focused.len() as u64 + 4);
+        let mut last_progress = (0_usize, 0_usize, 0_usize);
+        let mut stalled_for = 0_u64;
+
+        while players.values().any(|p| !p.done) {
+            if turns >= self.fuel {
+                return Err(MachineError::OutOfFuel { budget: self.fuel });
+            }
+            let progress = (
+                log.as_slice().iter().filter(|e| !e.is_sched()).count(),
+                players.values().map(|p| p.rets.len()).sum::<usize>(),
+                players.values().filter(|p| p.done).count(),
+            );
+            if progress == last_progress {
+                stalled_for += 1;
+                if stalled_for > stall_limit {
+                    return Err(MachineError::OutOfFuel { budget: self.fuel });
+                }
+            } else {
+                last_progress = progress;
+                stalled_for = 0;
+            }
+            turns += 1;
+            // One scheduler decision.
+            let target = self.schedule_one(&mut log)?;
+            if !self.focused.contains(target) {
+                // Environment participant: play its strategy move.
+                match self.env.player(target).next_move(&log) {
+                    StrategyMove::Emit(evs) => log.append_all(evs),
+                    StrategyMove::Finish(_) => {}
+                    StrategyMove::Stuck => {
+                        return Err(MachineError::Env(crate::env::EnvError::PlayerStuck {
+                            pid: target,
+                            log_len: log.len(),
+                        }));
+                    }
+                }
+                self.check_rely(&log)?;
+                continue;
+            }
+            // Focused participant: advance to its next query point.
+            let player = players.get_mut(&target).expect("focused player exists");
+            self.advance_player(target, player, &mut log, &mut abs)?;
+            self.check_guarantee(target, &log)?;
+        }
+        let rets = players.into_iter().map(|(p, st)| (p, st.rets)).collect();
+        Ok(ConcurrentOutcome {
+            log,
+            abs,
+            rets,
+            turns,
+        })
+    }
+
+    /// Asks the scheduler strategy for exactly one scheduling event.
+    fn schedule_one(&self, log: &mut Log) -> Result<Pid, MachineError> {
+        match self.env.scheduler().next_move(log) {
+            StrategyMove::Emit(evs) => match evs.as_slice() {
+                [e] => {
+                    if let EventKind::HwSched(p) = e.kind {
+                        log.append(e.clone());
+                        Ok(p)
+                    } else {
+                        Err(MachineError::Env(crate::env::EnvError::SchedulerStuck {
+                            log_len: log.len(),
+                        }))
+                    }
+                }
+                _ => Err(MachineError::Env(crate::env::EnvError::SchedulerStuck {
+                    log_len: log.len(),
+                })),
+            },
+            _ => Err(MachineError::Env(crate::env::EnvError::SchedulerStuck {
+                log_len: log.len(),
+            })),
+        }
+    }
+
+    /// Advances one focused participant until it reaches a real query
+    /// point (outside the critical state), finishes its script, or errs.
+    fn advance_player(
+        &self,
+        pid: Pid,
+        player: &mut Player,
+        log: &mut Log,
+        abs: &mut AbsState,
+    ) -> Result<(), MachineError> {
+        let mut inner_fuel = self.fuel;
+        loop {
+            if inner_fuel == 0 {
+                return Err(MachineError::OutOfFuel { budget: self.fuel });
+            }
+            inner_fuel -= 1;
+            if player.run.is_none() {
+                match player.script.get(player.next_call) {
+                    Some((name, args)) => {
+                        let run = self.iface.prim(name)?.instantiate(pid, args.clone());
+                        player.run = Some(run);
+                        player.next_call += 1;
+                    }
+                    None => {
+                        player.done = true;
+                        return Ok(());
+                    }
+                }
+            }
+            let step = {
+                let run = player.run.as_mut().expect("active run");
+                let mut ctx = PrimCtx {
+                    pid,
+                    abs,
+                    log,
+                    iface: &self.iface,
+                };
+                run.resume(&mut ctx)?
+            };
+            match step {
+                PrimStep::Done(v) => {
+                    player.rets.push(v);
+                    player.run = None;
+                    // Loop: the next call starts within this turn; if it is
+                    // a shared primitive it will immediately hit its query
+                    // point and yield the turn.
+                }
+                PrimStep::Query => {
+                    // In the critical state the machine does not query and
+                    // keeps control (§2); otherwise the turn ends here.
+                    if !self.iface.is_critical(pid, log) {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_rely(&self, log: &Log) -> Result<(), MachineError> {
+        for pid in self.focused.iter() {
+            if let Some(inv) = self.iface.conditions.rely.first_violation(pid, log) {
+                return Err(MachineError::RelyViolated {
+                    invariant: inv.name().to_owned(),
+                    pid,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_guarantee(&self, pid: Pid, log: &Log) -> Result<(), MachineError> {
+        if let Some(inv) = self.iface.conditions.guarantee.first_violation(pid, log) {
+            return Err(MachineError::GuaranteeViolated {
+                invariant: inv.name().to_owned(),
+                pid,
+                log_len: log.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConcurrentMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConcurrentMachine")
+            .field("iface", &self.iface.name)
+            .field("focused", &self.focused.to_string())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::PrimSpec;
+    use crate::strategy::RoundRobinScheduler;
+    use std::sync::Arc;
+
+    fn counter_iface() -> LayerInterface {
+        LayerInterface::builder("L-counter")
+            .prim(PrimSpec::atomic("bump", |ctx, _| {
+                ctx.emit(EventKind::Prim("bump".into(), vec![]));
+                let n = ctx
+                    .log
+                    .iter()
+                    .filter(|e| matches!(&e.kind, EventKind::Prim(p, _) if p == "bump"))
+                    .count();
+                Ok(Val::Int(n as i64))
+            }))
+            .build()
+    }
+
+    fn two_focused() -> (PidSet, EnvContext) {
+        (
+            PidSet::from_pids([Pid(0), Pid(1)]),
+            EnvContext::new(Arc::new(RoundRobinScheduler::over_domain(2))),
+        )
+    }
+
+    #[test]
+    fn interleaves_two_participants() {
+        let (focused, env) = two_focused();
+        let m = ConcurrentMachine::new(counter_iface(), focused, env);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(0), vec![("bump".to_owned(), vec![]); 2]);
+        programs.insert(Pid(1), vec![("bump".to_owned(), vec![]); 2]);
+        let out = m.run(&programs).unwrap();
+        assert_eq!(out.log.count_by(Pid(0)), 2);
+        assert_eq!(out.log.count_by(Pid(1)), 2);
+        // Return values observe the global (interleaved) counter: the
+        // multiset of all returns is {1, 2, 3, 4}.
+        let mut all: Vec<i64> = out
+            .rets
+            .values()
+            .flatten()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_alternates_bumps() {
+        let (focused, env) = two_focused();
+        let m = ConcurrentMachine::new(counter_iface(), focused, env);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(0), vec![("bump".to_owned(), vec![]); 2]);
+        programs.insert(Pid(1), vec![("bump".to_owned(), vec![]); 2]);
+        let out = m.run(&programs).unwrap();
+        let authors: Vec<Pid> = out.log.without_sched().iter().map(|e| e.pid).collect();
+        assert_eq!(authors, vec![Pid(0), Pid(1), Pid(0), Pid(1)]);
+    }
+
+    #[test]
+    fn environment_players_interleave_with_focused() {
+        use crate::strategy::ScriptPlayer;
+        let focused = PidSet::singleton(Pid(0));
+        let env = EnvContext::new(Arc::new(RoundRobinScheduler::over_domain(2))).with_player(
+            Pid(1),
+            Arc::new(ScriptPlayer::new(
+                Pid(1),
+                vec![vec![crate::event::Event::prim(Pid(1), "noise", vec![])]],
+            )),
+        );
+        let m = ConcurrentMachine::new(counter_iface(), focused, env);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(0), vec![("bump".to_owned(), vec![])]);
+        let out = m.run(&programs).unwrap();
+        assert_eq!(out.log.count_by(Pid(1)), 1, "env noise recorded");
+    }
+
+    #[test]
+    fn empty_programs_finish_immediately() {
+        let (focused, env) = two_focused();
+        let m = ConcurrentMachine::new(counter_iface(), focused, env);
+        let out = m.run(&BTreeMap::new()).unwrap();
+        assert!(out.log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-focused")]
+    fn rejects_program_for_unfocused_pid() {
+        let (_, env) = two_focused();
+        let m = ConcurrentMachine::new(counter_iface(), PidSet::singleton(Pid(0)), env);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(5), vec![("bump".to_owned(), vec![])]);
+        let _ = m.run(&programs);
+    }
+
+    #[test]
+    fn starvation_is_out_of_fuel() {
+        // Scheduler that only ever schedules p0, while p1 has work.
+        let env = EnvContext::new(Arc::new(RoundRobinScheduler::new(vec![Pid(0)])));
+        let m = ConcurrentMachine::new(
+            counter_iface(),
+            PidSet::from_pids([Pid(0), Pid(1)]),
+            env,
+        )
+        .with_fuel(64);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(1), vec![("bump".to_owned(), vec![])]);
+        let err = m.run(&programs).unwrap_err();
+        assert!(matches!(err, MachineError::OutOfFuel { .. }));
+    }
+}

@@ -1,0 +1,202 @@
+//! Observable events and the global log.
+//!
+//! Shared-primitive calls are the only observable actions in the paper's
+//! model: "each shared primitive call (together with its arguments) is
+//! recorded as an observable event appended to the end of the global log"
+//! (§2). Hardware scheduling decisions are also recorded (§3.1). All shared
+//! state is a *function of the log*, reconstructed by replay functions
+//! ([`crate::replay`]).
+//!
+//! The event vocabulary below covers every layer built by the toolkit
+//! (spinlocks, shared queues, schedulers, queuing locks, condition
+//! variables, IPC) plus a generic [`EventKind::Prim`] escape hatch for
+//! client-defined primitives such as `f`, `g` and `foo` of Fig. 3.
+
+use std::fmt;
+
+use crate::id::{Loc, Pid, QId};
+use crate::val::Val;
+
+/// The action recorded by an event, without its author.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A hardware (or software) scheduling transition handing control to
+    /// the given participant (§3.1). Recorded by the scheduler strategy
+    /// `φ0`, the "judge of the game" (§2).
+    HwSched(Pid),
+    /// `c.pull(b)`: acquire ownership of shared location `b` (Fig. 6/8).
+    Pull(Loc),
+    /// `c.push(b, v)`: release ownership of `b`, publishing value `v`
+    /// (Fig. 6/8).
+    Push(Loc, Val),
+    /// `c.FAI_t(b)`: fetch-and-increment the next-ticket field of the
+    /// ticket lock at `b` (§2, Fig. 3).
+    FaiT(Loc),
+    /// `c.get_n(b)`: read the now-serving field of the ticket lock at `b`.
+    GetN(Loc),
+    /// `c.inc_n(b)`: increment the now-serving field (lock release).
+    IncN(Loc),
+    /// `c.hold(b)`: the no-op announcing the lock has been taken (§2).
+    Hold(Loc),
+    /// `c.acq(b)`: the *atomic* lock-acquire event of the lifted interface
+    /// `L1` (§2).
+    Acq(Loc),
+    /// `c.rel(b)`: the atomic lock-release event of `L1`.
+    Rel(Loc),
+    /// MCS lock: atomically swap the tail pointer of the lock at `b` to the
+    /// caller's queue node; the previous tail is recovered by replay.
+    McsSwap(Loc),
+    /// MCS lock: compare-and-swap the tail from the caller's node to null;
+    /// success is recovered by replay.
+    McsCasTail(Loc),
+    /// MCS lock: link the caller's node as successor of `pred`'s node.
+    McsSetNext(Loc, Pid),
+    /// MCS lock: read the caller's `locked` flag (spin step).
+    McsGetLocked(Loc),
+    /// MCS lock: clear the successor's `locked` flag (hand-off).
+    McsGrant(Loc, Pid),
+    /// Atomic shared-queue enqueue of a value into queue `q` (§4.2).
+    EnQ(QId, Val),
+    /// Atomic shared-queue dequeue from queue `q` (§4.2); the dequeued
+    /// element is recovered by replay.
+    DeQ(QId),
+    /// `c.yield`: give up the CPU (§5.1).
+    Yield,
+    /// `c.sleep(i, lk)`: sleep on queue `i` while holding lock `lk`, which
+    /// the primitive releases (§5.1).
+    Sleep(QId, Loc),
+    /// `c.wakeup(i)`: wake the first sleeper of queue `i` (§5.1); the woken
+    /// thread (if any) is recovered by replay.
+    Wakeup(QId),
+    /// Queuing-lock acquire (atomic interface of §5.4).
+    AcqQ(Loc),
+    /// Queuing-lock release.
+    RelQ(Loc),
+    /// Condition-variable wait (releases and re-acquires its queuing lock).
+    CvWait(QId),
+    /// Condition-variable signal.
+    CvSignal(QId),
+    /// Condition-variable broadcast.
+    CvBroadcast(QId),
+    /// Synchronous IPC send of a value into channel `q` (§6 lists IPC among
+    /// the layers built with the toolkit).
+    IpcSend(QId, Val),
+    /// Synchronous IPC receive from channel `q`.
+    IpcRecv(QId),
+    /// A generic named primitive call with its arguments — e.g. `i.f`,
+    /// `i.g`, `i.foo` of Fig. 3, or any client-defined atomic object.
+    Prim(String, Vec<Val>),
+}
+
+impl EventKind {
+    /// Whether this kind is a scheduling transition.
+    pub fn is_sched(&self) -> bool {
+        matches!(self, EventKind::HwSched(_))
+    }
+}
+
+/// An observable event: an [`EventKind`] tagged with the participant that
+/// generated it — the paper writes `i.FAI_t`, `c.pull(b)`, etc.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// The participant (CPU or thread) that produced the event. For
+    /// scheduling events this is the participant *receiving* control.
+    pub pid: Pid,
+    /// The recorded action.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event authored by `pid`.
+    pub fn new(pid: Pid, kind: EventKind) -> Self {
+        Self { pid, kind }
+    }
+
+    /// Creates the scheduling event transferring control to `target`.
+    pub fn sched(target: Pid) -> Self {
+        Self::new(target, EventKind::HwSched(target))
+    }
+
+    /// Creates a generic named primitive event.
+    pub fn prim(pid: Pid, name: &str, args: Vec<Val>) -> Self {
+        Self::new(pid, EventKind::Prim(name.to_owned(), args))
+    }
+
+    /// Whether this is a scheduling transition.
+    pub fn is_sched(&self) -> bool {
+        self.kind.is_sched()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use EventKind::*;
+        match &self.kind {
+            HwSched(p) => write!(f, "⟨sched→{p}⟩"),
+            Pull(b) => write!(f, "{}.pull({b})", self.pid),
+            Push(b, v) => write!(f, "{}.push({b},{v})", self.pid),
+            FaiT(b) => write!(f, "{}.FAI_t({b})", self.pid),
+            GetN(b) => write!(f, "{}.get_n({b})", self.pid),
+            IncN(b) => write!(f, "{}.inc_n({b})", self.pid),
+            Hold(b) => write!(f, "{}.hold({b})", self.pid),
+            Acq(b) => write!(f, "{}.acq({b})", self.pid),
+            Rel(b) => write!(f, "{}.rel({b})", self.pid),
+            McsSwap(b) => write!(f, "{}.mcs_swap({b})", self.pid),
+            McsCasTail(b) => write!(f, "{}.mcs_cas({b})", self.pid),
+            McsSetNext(b, p) => write!(f, "{}.mcs_set_next({b},{p})", self.pid),
+            McsGetLocked(b) => write!(f, "{}.mcs_get_locked({b})", self.pid),
+            McsGrant(b, p) => write!(f, "{}.mcs_grant({b},{p})", self.pid),
+            EnQ(q, v) => write!(f, "{}.enQ({q},{v})", self.pid),
+            DeQ(q) => write!(f, "{}.deQ({q})", self.pid),
+            Yield => write!(f, "{}.yield", self.pid),
+            Sleep(q, lk) => write!(f, "{}.sleep({q},{lk})", self.pid),
+            Wakeup(q) => write!(f, "{}.wakeup({q})", self.pid),
+            AcqQ(b) => write!(f, "{}.acq_q({b})", self.pid),
+            RelQ(b) => write!(f, "{}.rel_q({b})", self.pid),
+            CvWait(q) => write!(f, "{}.cv_wait({q})", self.pid),
+            CvSignal(q) => write!(f, "{}.cv_signal({q})", self.pid),
+            CvBroadcast(q) => write!(f, "{}.cv_broadcast({q})", self.pid),
+            IpcSend(q, v) => write!(f, "{}.send({q},{v})", self.pid),
+            IpcRecv(q) => write!(f, "{}.recv({q})", self.pid),
+            Prim(name, args) => {
+                write!(f, "{}.{name}(", self.pid)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_event_targets_pid() {
+        let e = Event::sched(Pid(2));
+        assert!(e.is_sched());
+        assert_eq!(e.pid, Pid(2));
+    }
+
+    #[test]
+    fn prim_event_displays_like_paper_notation() {
+        let e = Event::prim(Pid(1), "foo", vec![]);
+        assert_eq!(e.to_string(), "p1.foo()");
+        let e = Event::new(Pid(1), EventKind::FaiT(Loc(0)));
+        assert_eq!(e.to_string(), "p1.FAI_t(b0)");
+    }
+
+    #[test]
+    fn events_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Event::sched(Pid(0)));
+        s.insert(Event::sched(Pid(0)));
+        assert_eq!(s.len(), 1);
+    }
+}

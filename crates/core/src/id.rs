@@ -1,0 +1,243 @@
+//! Participant, location and queue identifiers.
+//!
+//! The paper ranges over a domain `D` of thread/CPU IDs (§2). A *participant*
+//! is either a CPU (in the multicore layers of §3–§4) or a thread (in the
+//! multithreaded layers of §5); both are identified by a [`Pid`]. Memory
+//! locations `b` (§3.1) are identified by [`Loc`], and the scheduler's
+//! queues (ready/pending/sleeping, §5.1) by [`QId`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A participant identifier: a CPU ID `c` or a thread ID `t` in the paper's
+/// domain `D` (§2). Which one it denotes is determined by the layer stack in
+/// which it is used; the game-semantic model treats both uniformly.
+///
+/// # Examples
+///
+/// ```
+/// use ccal_core::id::Pid;
+/// let cpu0 = Pid(0);
+/// assert_eq!(cpu0.to_string(), "p0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for Pid {
+    fn from(raw: u32) -> Self {
+        Pid(raw)
+    }
+}
+
+/// A shared- or private-memory location `b` (§3.1).
+///
+/// In the machine substrate a location resolves to a (block, offset) pair;
+/// at the layer-interface level locations are opaque names for shared
+/// objects (a lock word, a queue header, ...), exactly as in the paper's
+/// events `c.pull(b)`, `c.push(b, v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Loc(pub u32);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<u32> for Loc {
+    fn from(raw: u32) -> Self {
+        Loc(raw)
+    }
+}
+
+/// Identifier of a scheduler queue (ready / pending / sleeping queue, §5.1)
+/// or of any other indexed shared object such as a shared thread queue
+/// (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QId(pub u32);
+
+impl fmt::Display for QId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for QId {
+    fn from(raw: u32) -> Self {
+        QId(raw)
+    }
+}
+
+/// A focused participant set `A ⊆ D` (§2): the subset of threads/CPUs whose
+/// execution a layer machine `L[A]` captures. Participants outside the set
+/// belong to the environment context.
+///
+/// # Examples
+///
+/// ```
+/// use ccal_core::id::{Pid, PidSet};
+/// let a = PidSet::from_pids([Pid(1), Pid(2)]);
+/// let b = PidSet::from_pids([Pid(3)]);
+/// assert!(a.is_disjoint(&b));
+/// let d = a.union(&b);
+/// assert_eq!(d.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PidSet {
+    inner: BTreeSet<Pid>,
+}
+
+impl PidSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a singleton focused set `{i}`, written `L[i]` in the paper.
+    pub fn singleton(pid: Pid) -> Self {
+        let mut inner = BTreeSet::new();
+        inner.insert(pid);
+        Self { inner }
+    }
+
+    /// Creates a set from any collection of participant ids.
+    pub fn from_pids<I: IntoIterator<Item = Pid>>(pids: I) -> Self {
+        Self {
+            inner: pids.into_iter().collect(),
+        }
+    }
+
+    /// The full domain `D = {0, 1, ..., n-1}` of `n` participants.
+    pub fn domain(n: u32) -> Self {
+        Self::from_pids((0..n).map(Pid))
+    }
+
+    /// Inserts a participant; returns `true` if newly added.
+    pub fn insert(&mut self, pid: Pid) -> bool {
+        self.inner.insert(pid)
+    }
+
+    /// Whether the set contains `pid`.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.inner.contains(&pid)
+    }
+
+    /// Number of focused participants.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Set union, used by the parallel composition rule `Pcomp` to form
+    /// `L[A ∪ B]` (Fig. 9).
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            inner: self.inner.union(&other.inner).copied().collect(),
+        }
+    }
+
+    /// Whether the two focused sets are disjoint — the `A ⊥ B` premise of
+    /// the `Compat` rule (Fig. 9).
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.inner.is_disjoint(&other.inner)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.inner.is_subset(&other.inner)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.inner.iter().copied()
+    }
+}
+
+impl fmt::Display for PidSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.inner.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Pid> for PidSet {
+    fn from_iter<I: IntoIterator<Item = Pid>>(iter: I) -> Self {
+        Self::from_pids(iter)
+    }
+}
+
+impl Extend<Pid> for PidSet {
+    fn extend<I: IntoIterator<Item = Pid>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_contains_only_its_pid() {
+        let s = PidSet::singleton(Pid(3));
+        assert!(s.contains(Pid(3)));
+        assert!(!s.contains(Pid(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn domain_enumerates_all_pids() {
+        let d = PidSet::domain(4);
+        assert_eq!(d.len(), 4);
+        for i in 0..4 {
+            assert!(d.contains(Pid(i)));
+        }
+    }
+
+    #[test]
+    fn union_and_disjointness() {
+        let a = PidSet::from_pids([Pid(0), Pid(1)]);
+        let b = PidSet::from_pids([Pid(2)]);
+        assert!(a.is_disjoint(&b));
+        let u = a.union(&b);
+        assert_eq!(u, PidSet::domain(3));
+        assert!(!u.is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = PidSet::from_pids([Pid(0)]);
+        let d = PidSet::domain(2);
+        assert!(a.is_subset(&d));
+        assert!(!d.is_subset(&a));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid(7).to_string(), "p7");
+        assert_eq!(Loc(1).to_string(), "b1");
+        assert_eq!(QId(2).to_string(), "q2");
+        assert_eq!(PidSet::domain(2).to_string(), "{p0,p1}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: PidSet = (0..3).map(Pid).collect();
+        assert_eq!(s, PidSet::domain(3));
+    }
+}

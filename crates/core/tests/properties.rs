@@ -1,0 +1,161 @@
+//! Property-based tests of the core model's algebraic laws.
+
+use ccal_core::event::{Event, EventKind};
+use ccal_core::id::{Loc, Pid, PidSet, QId};
+use ccal_core::log::Log;
+use ccal_core::replay::{replay_atomic_queue, replay_shared, replay_ticket};
+use ccal_core::sim::SimRelation;
+use ccal_core::val::Val;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0_u32..3, 0_u8..7, 0_u32..2, -4_i64..4).prop_map(|(pid, kind, loc, v)| {
+        let pid = Pid(pid);
+        let b = Loc(loc);
+        let kind = match kind {
+            0 => EventKind::FaiT(b),
+            1 => EventKind::GetN(b),
+            2 => EventKind::IncN(b),
+            3 => EventKind::Acq(b),
+            4 => EventKind::Rel(b),
+            5 => EventKind::EnQ(QId(loc), Val::Int(v)),
+            _ => EventKind::HwSched(pid),
+        };
+        Event::new(pid, kind)
+    })
+}
+
+fn arb_log() -> impl Strategy<Value = Log> {
+    proptest::collection::vec(arb_event(), 0..24).prop_map(Log::from_events)
+}
+
+proptest! {
+    /// without_sched is idempotent and removes exactly the scheduling
+    /// events.
+    #[test]
+    fn without_sched_idempotent(log in arb_log()) {
+        let once = log.without_sched();
+        prop_assert_eq!(once.clone(), once.without_sched());
+        prop_assert!(once.iter().all(|e| !e.is_sched()));
+        let removed = log.len() - once.len();
+        let scheds = log.iter().filter(|e| e.is_sched()).count();
+        prop_assert_eq!(removed, scheds);
+    }
+
+    /// Per-pid counters partition the non-scheduling events.
+    #[test]
+    fn count_by_partitions(log in arb_log()) {
+        let total: usize = (0..3).map(|p| log.count_by(Pid(p))).sum();
+        prop_assert_eq!(total, log.without_sched().len());
+    }
+
+    /// Replay functions are prefix-monotone folds: replaying a prefix
+    /// then extending gives the same result as replaying the whole log.
+    #[test]
+    fn ticket_replay_is_a_fold(log in arb_log(), cut in 0_usize..24) {
+        let b = Loc(0);
+        let cut = cut.min(log.len());
+        let prefix = Log::from_events(log.iter().take(cut).cloned());
+        let st_pre = replay_ticket(&prefix, b);
+        let st_all = replay_ticket(&log, b);
+        // Counters never decrease along extensions.
+        prop_assert!(st_all.next >= st_pre.next);
+        prop_assert!(st_all.serving >= st_pre.serving);
+    }
+
+    /// Queue replay length = enqueues - successful dequeues.
+    #[test]
+    fn queue_replay_length_invariant(ops in proptest::collection::vec((0_u8..2, 0_i64..50), 0..20)) {
+        let q = QId(0);
+        let mut log = Log::new();
+        let mut expected_len = 0_i64;
+        for (i, (kind, v)) in ops.iter().enumerate() {
+            let pid = Pid((i % 2) as u32);
+            if *kind == 0 {
+                log.append(Event::new(pid, EventKind::EnQ(q, Val::Int(*v))));
+                expected_len += 1;
+            } else {
+                log.append(Event::new(pid, EventKind::DeQ(q)));
+                if expected_len > 0 {
+                    expected_len -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(replay_atomic_queue(&log, q).len() as i64, expected_len);
+    }
+
+    /// Identity relation: reflexive modulo scheduling, and composition
+    /// with identity is identity.
+    #[test]
+    fn identity_relation_laws(log in arb_log()) {
+        let id = SimRelation::identity();
+        prop_assert!(id.holds(&log, &log));
+        prop_assert!(id.holds(&log, &log.without_sched()));
+        let id2 = id.then(&SimRelation::identity());
+        prop_assert_eq!(id2.abstracted(&log), id.abstracted(&log));
+    }
+
+    /// Relation composition is associative on per-event relations.
+    #[test]
+    fn relation_composition_associative(log in arb_log()) {
+        let f = SimRelation::per_event("f", |e| match e.kind {
+            EventKind::FaiT(b) => vec![Event::new(e.pid, EventKind::GetN(b))],
+            _ => vec![e.clone()],
+        });
+        let g = SimRelation::per_event("g", |e| match e.kind {
+            EventKind::GetN(_) => vec![],
+            _ => vec![e.clone()],
+        });
+        let h = SimRelation::per_event("h", |e| vec![e.clone(), e.clone()]);
+        let left = f.then(&g).then(&h);
+        let right = f.then(&g.then(&h));
+        prop_assert_eq!(left.abstracted(&log), right.abstracted(&log));
+    }
+
+    /// Pull/push well-bracketed logs always replay; the final owner is
+    /// determined by parity.
+    #[test]
+    fn bracketed_pushpull_replays(rounds in 0_usize..6, open in proptest::bool::ANY) {
+        let b = Loc(0);
+        let mut log = Log::new();
+        for i in 0..rounds {
+            let pid = Pid((i % 2) as u32);
+            log.append(Event::new(pid, EventKind::Pull(b)));
+            log.append(Event::new(pid, EventKind::Push(b, Val::Int(i as i64))));
+        }
+        if open {
+            log.append(Event::new(Pid(0), EventKind::Pull(b)));
+        }
+        let cell = replay_shared(&log, b).expect("bracketed log replays");
+        if open {
+            prop_assert_eq!(cell.owner, ccal_core::replay::Ownership::Owned(Pid(0)));
+        } else {
+            prop_assert_eq!(cell.owner, ccal_core::replay::Ownership::Free);
+        }
+    }
+
+    /// PidSet union is commutative, associative and idempotent; domain
+    /// absorbs subsets.
+    #[test]
+    fn pidset_lattice_laws(xs in proptest::collection::vec(0_u32..8, 0..8),
+                           ys in proptest::collection::vec(0_u32..8, 0..8)) {
+        let a = PidSet::from_pids(xs.iter().copied().map(Pid));
+        let b = PidSet::from_pids(ys.iter().copied().map(Pid));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset(&a.union(&b)));
+        let d = PidSet::domain(8);
+        prop_assert_eq!(a.union(&d), d);
+    }
+
+    /// Log prefix relation is a partial order compatible with append.
+    #[test]
+    fn log_prefix_order(log in arb_log(), extra in arb_event()) {
+        let mut bigger = log.clone();
+        bigger.append(extra);
+        prop_assert!(bigger.has_prefix(&log));
+        prop_assert!(log.has_prefix(&log));
+        prop_assert!(!log.has_prefix(&bigger));
+        prop_assert_eq!(bigger.suffix_from(log.len()).len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ccal-machine — the multicore machine substrate
+//!
+//! The machine-level systems of the CCAL reproduction (paper §3):
+//!
+//! * [`mem`] — CompCert-style block memory (used by the assembly
+//!   interpreter and by `ccal-compcertx`'s algebraic memory model);
+//! * [`asm`] — the layered assembly language (Fig. 7's `AsmModule`), the
+//!   target of CompCertX;
+//! * [`exec`] — the assembly interpreter as a resumable layer computation,
+//!   so compiled code runs over any layer interface and interleaves at
+//!   query points;
+//! * [`lx86`] — the CPU-local layer interface `Lx86[c]` with the push/pull
+//!   shared-memory primitives (Fig. 8) and the ticket-lock hardware
+//!   primitives, all computed by replay functions;
+//! * [`mx86`] — the multiprocessor hardware machine `Mx86` (§3.1) with
+//!   concrete in-place shared state and explicit hardware scheduling;
+//! * [`linking`] — the executable Theorem 3.1: `Mx86` and `Lx86[D]` agree
+//!   on every bounded interleaving.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod exec;
+pub mod linking;
+pub mod lx86;
+pub mod mem;
+pub mod mx86;
+
+pub use asm::{AsmFunction, AsmModule, Cond, Instr, Operand, Reg};
+pub use exec::AsmRun;
+pub use linking::{check_multicore_linking, check_multicore_linking_between, schedules};
+pub use lx86::{in_critical_l0, lx86_interface, owned_locs};
+pub use mem::{Addr, Block, MemError, Memory};
+pub use mx86::{mx86_hw_interface, Mx86Machine, Mx86Program};

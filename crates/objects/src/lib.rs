@@ -1,0 +1,40 @@
+//! # ccal-objects — the certified concurrent objects
+//!
+//! The object stacks of §4–§5 and Table 2 of *"Certified Concurrent
+//! Abstraction Layers"*, each built with the layer calculus and certified
+//! by the bounded simulation checker:
+//!
+//! * [`ticket`] — the ticket lock of Figs. 3/10, through the complete
+//!   Fig. 5 pipeline: fun-lift (`φ′_acq`/`φ′_rel`), log-lift to the
+//!   atomic `acq`/`rel` interface via `R1`, and the `foo` client layer
+//!   via `R2`;
+//! * [`mcs`] — the MCS queue lock (Kim et al. \[24\]), certified against
+//!   the *same* atomic interface, so the two locks are interchangeable
+//!   (§6);
+//! * [`localq`] — the sequential doubly-linked-list queue refined to a
+//!   logical list (Table 2's *Local queue*);
+//! * [`sharedq`] — the lock-wrapped atomic shared queue (§4.2);
+//! * [`sched`] — `yield`/`sleep`/`wakeup` over shared thread queues with
+//!   an assembly `cswitch` (§5.1), the thread-local interface (§5.3), and
+//!   the executable Theorem 5.1;
+//! * [`qlock`] — the queuing lock of Fig. 11 (§5.4), whose waiters sleep
+//!   instead of spinning;
+//! * [`condvar`] — Mesa-style condition variables over the queuing lock;
+//! * [`ipc`] — synchronous message passing at the top of the Fig. 1
+//!   tower.
+//!
+//! Each module exports its layer interfaces, its ClightX (and assembly)
+//! sources, its replay functions and simulation relations, well-behaved
+//! environment players for checking, and a `certify_*` entry point that
+//! discharges the full obligation set.
+
+#![warn(missing_docs)]
+
+pub mod condvar;
+pub mod ipc;
+pub mod localq;
+pub mod mcs;
+pub mod qlock;
+pub mod sched;
+pub mod sharedq;
+pub mod ticket;

@@ -1,0 +1,88 @@
+//! Soundness (Thm 2.2) for the shared-queue layer with two focused
+//! participants: any client running over the lock-based implementation is
+//! contextually refined by the same client over the atomic queue
+//! interface.
+
+use std::sync::Arc;
+
+use ccal_core::calculus::pcomp;
+use ccal_core::contexts::ContextGen;
+use ccal_core::id::{Loc, Pid, PidSet};
+use ccal_core::refine::{check_contextual_refinement, ClientProgram};
+use ccal_core::val::Val;
+use ccal_objects::sharedq::{certify_shared_queue, SharedQEnvPlayer};
+
+const Q: Loc = Loc(3);
+
+fn contexts(env_pid: Pid) -> Vec<ccal_core::env::EnvContext> {
+    ContextGen::new(vec![Pid(0), Pid(1)])
+        .with_player(env_pid, Arc::new(SharedQEnvPlayer::new(env_pid, Q, 2)))
+        .with_schedule_len(3)
+        .contexts()
+}
+
+#[test]
+fn queue_layer_composes_and_satisfies_soundness() {
+    let l0 = certify_shared_queue(Pid(0), Q, contexts(Pid(1))).expect("pid 0 certifies");
+    let l1 = certify_shared_queue(Pid(1), Q, contexts(Pid(0))).expect("pid 1 certifies");
+    let both = pcomp(&l0, &l1).expect("compatible queue layers");
+    assert_eq!(both.focused, PidSet::from_pids([Pid(0), Pid(1)]));
+
+    let mut client = ClientProgram::new();
+    client.insert(
+        Pid(0),
+        vec![
+            ("enQ".to_owned(), vec![Val::Loc(Q), Val::Int(1)]),
+            ("deQ".to_owned(), vec![Val::Loc(Q)]),
+        ],
+    );
+    client.insert(
+        Pid(1),
+        vec![
+            ("enQ".to_owned(), vec![Val::Loc(Q), Val::Int(2)]),
+            ("deQ".to_owned(), vec![Val::Loc(Q)]),
+        ],
+    );
+    let run_contexts = ContextGen::new(vec![Pid(0), Pid(1)])
+        .with_schedule_len(4)
+        .contexts();
+    let ob = check_contextual_refinement(&both, &client, &run_contexts, 200_000)
+        .expect("Thm 2.2 holds for the queue tower");
+    assert!(ob.cases_checked > 0, "{ob}");
+}
+
+#[test]
+fn soundness_detects_a_broken_overlay() {
+    // Negative control: replace the overlay's deQ with one that returns a
+    // constant — the soundness check must find the divergence.
+    use ccal_core::calculus::CertifiedLayer;
+    use ccal_core::event::EventKind;
+    use ccal_core::id::QId;
+    use ccal_core::layer::{LayerInterface, PrimSpec};
+
+    let good = certify_shared_queue(Pid(0), Q, contexts(Pid(1))).expect("certifies");
+    let broken_overlay = LayerInterface::builder("Lq_high")
+        .prim(good.overlay.prim("enQ").expect("enQ").clone())
+        .prim(PrimSpec::atomic("deQ", |ctx, args| {
+            let q = args[0].as_loc()?;
+            ctx.emit(EventKind::DeQ(QId(q.0)));
+            Ok(Val::Int(999)) // wrong: ignores the replayed queue
+        }))
+        .build();
+    let broken = CertifiedLayer {
+        overlay: broken_overlay,
+        ..good
+    };
+    let mut client = ClientProgram::new();
+    client.insert(
+        Pid(0),
+        vec![
+            ("enQ".to_owned(), vec![Val::Loc(Q), Val::Int(5)]),
+            ("deQ".to_owned(), vec![Val::Loc(Q)]),
+        ],
+    );
+    let run_contexts = vec![ContextGen::new(vec![Pid(0)]).round_robin()];
+    let err = check_contextual_refinement(&broken, &client, &run_contexts, 200_000)
+        .expect_err("constant deQ cannot refine");
+    assert!(format!("{err}").contains("return values") || format!("{err}").contains("related"));
+}

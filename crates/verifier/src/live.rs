@@ -1,0 +1,183 @@
+//! Liveness (starvation-freedom) checking.
+//!
+//! "By enforcing the fairness of the scheduler in rely conditions, saying
+//! that any CPU can be scheduled within `m` steps, we can show the
+//! liveness property (i.e., starvation-freedom): the while-loop in `acq`
+//! terminates in `n × m × #CPU` steps" (§4.1).
+//!
+//! [`check_liveness`] executes an operation under every generated (fair,
+//! rely-respecting) environment context and asserts it completes within
+//! the declared step bound, measured in scheduling events consumed — the
+//! paper's notion of "steps" at the game level.
+
+use ccal_core::calculus::{LayerError, Obligation, Rule};
+use ccal_core::env::EnvContext;
+use ccal_core::id::Pid;
+use ccal_core::layer::LayerInterface;
+use ccal_core::machine::LayerMachine;
+use ccal_core::val::Val;
+
+/// The paper's ticket-lock starvation bound `n × m × #CPU` (§4.1): `n`
+/// bounds the steps a holder keeps the lock, `m` bounds scheduler
+/// fairness, and `#CPU` bounds the number of competitors ahead in line.
+pub fn ticket_bound(n: u64, m: u64, ncpu: u64) -> u64 {
+    n * m * ncpu
+}
+
+/// Checks that calling `prim(args)` completes within `bound` scheduling
+/// steps under every context (invalid contexts are skipped). Also verifies
+/// the run actually terminates — an `OutOfFuel` is a liveness
+/// counterexample, reported as a mismatch.
+///
+/// # Errors
+///
+/// [`LayerError::Mismatch`] on a starving or over-budget run;
+/// [`LayerError::Machine`] on other failures.
+pub fn check_liveness(
+    iface: &LayerInterface,
+    prim: &str,
+    args: &[Val],
+    pid: Pid,
+    contexts: &[EnvContext],
+    bound: u64,
+    fuel: u64,
+) -> Result<Obligation, LayerError> {
+    let mut cases_checked = 0;
+    let mut cases_skipped = 0;
+    let mut worst = 0_u64;
+    for (ci, env) in contexts.iter().enumerate() {
+        let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
+        match machine.call_prim(prim, args) {
+            Ok(_) => {}
+            Err(e) if e.is_invalid_context() => {
+                cases_skipped += 1;
+                continue;
+            }
+            Err(ccal_core::machine::MachineError::OutOfFuel { .. }) => {
+                return Err(LayerError::Mismatch {
+                    expected: format!("`{prim}` to terminate (starvation-freedom)"),
+                    found: "run exhausted its fuel (starvation)".to_owned(),
+                    context: format!("liveness, context #{ci}"),
+                });
+            }
+            Err(e) => return Err(LayerError::Machine(e)),
+        }
+        let steps = machine.log.iter().filter(|e| e.is_sched()).count() as u64;
+        worst = worst.max(steps);
+        if steps > bound {
+            return Err(LayerError::Mismatch {
+                expected: format!("completion within {bound} scheduling steps"),
+                found: format!("{steps} steps"),
+                context: format!("liveness of `{prim}`, context #{ci}"),
+            });
+        }
+        cases_checked += 1;
+    }
+    Ok(Obligation {
+        rule: Rule::Liveness,
+        description: format!(
+            "`{prim}` completes within {bound} steps on {} (worst observed: {worst})",
+            iface.name
+        ),
+        cases_checked,
+        cases_skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccal_core::contexts::ContextGen;
+    use ccal_core::event::EventKind;
+    use ccal_core::layer::{PrimCtx, PrimRun, PrimSpec, PrimStep};
+    use ccal_core::machine::MachineError;
+
+    /// A primitive that waits until the environment has produced `k`
+    /// events, then finishes.
+    fn wait_for_iface(k: usize) -> LayerInterface {
+        struct WaitFor(usize);
+        impl PrimRun for WaitFor {
+            fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
+                if ctx.log.without_sched().len() >= self.0 {
+                    ctx.emit(EventKind::Prim("done".into(), vec![]));
+                    Ok(PrimStep::Done(Val::Unit))
+                } else {
+                    Ok(PrimStep::Query)
+                }
+            }
+        }
+        LayerInterface::builder("L-wait")
+            .prim(PrimSpec::strategy("wait", true, move |_, _| {
+                Box::new(WaitFor(k))
+            }))
+            .build()
+    }
+
+    fn chatty_contexts() -> Vec<EnvContext> {
+        use ccal_core::strategy::FnStrategy;
+        use std::sync::Arc;
+        let noisy = FnStrategy::new("noisy", |_log| {
+            ccal_core::strategy::StrategyMove::Emit(vec![ccal_core::event::Event::prim(
+                Pid(1),
+                "noise",
+                vec![],
+            )])
+        });
+        vec![ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_player(Pid(1), Arc::new(noisy))
+            .round_robin()]
+    }
+
+    #[test]
+    fn bounded_wait_passes_within_bound() {
+        let ob = check_liveness(
+            &wait_for_iface(3),
+            "wait",
+            &[],
+            Pid(0),
+            &chatty_contexts(),
+            32,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(ob.cases_checked, 1);
+        assert_eq!(ob.rule, Rule::Liveness);
+    }
+
+    #[test]
+    fn over_budget_run_is_reported() {
+        let err = check_liveness(
+            &wait_for_iface(20),
+            "wait",
+            &[],
+            Pid(0),
+            &chatty_contexts(),
+            4, // far too tight
+            100_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LayerError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn starving_run_is_reported() {
+        // The environment never produces events, so the wait never ends.
+        let silent = vec![ContextGen::new(vec![Pid(0), Pid(1)]).round_robin()];
+        let err = check_liveness(
+            &wait_for_iface(1),
+            "wait",
+            &[],
+            Pid(0),
+            &silent,
+            1_000_000,
+            500,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LayerError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn ticket_bound_formula() {
+        assert_eq!(ticket_bound(3, 4, 2), 24);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sequential (multi-call) refinement checking.
+//!
+//! The `Fun`-rule checker in `ccal-core` verifies one primitive invocation
+//! from the initial state. Stateful objects — queues, schedulers — need
+//! *sequences* of operations checked against their specifications, because
+//! interesting behavior only appears from non-initial states ("the queue
+//! is represented as a logical list in the specification, while it is
+//! implemented as a doubly linked list", §6). [`check_sequence_refinement`]
+//! runs whole operation scripts on a single machine pair and compares
+//! every return value and the final logs through the simulation relation.
+
+use ccal_core::calculus::{LayerError, Obligation, Rule};
+use ccal_core::env::EnvContext;
+use ccal_core::id::Pid;
+use ccal_core::layer::LayerInterface;
+use ccal_core::machine::LayerMachine;
+use ccal_core::sim::{replay_env, SimRelation};
+use ccal_core::val::Val;
+
+/// A script of operations for sequence checking.
+pub type OpScript = Vec<(String, Vec<Val>)>;
+
+/// Checks that the implementation interface refines the specification
+/// interface on whole operation scripts: for every context and script, the
+/// two machines return the same values call-for-call, and the final logs
+/// are related by `relation`. The spec run's environment is derived from
+/// the implementation run by abstraction + replay, as in Def. 2.1.
+///
+/// # Errors
+///
+/// [`LayerError::Mismatch`] on the first disagreeing case;
+/// [`LayerError::Machine`] if a run fails outright.
+pub fn check_sequence_refinement(
+    impl_iface: &LayerInterface,
+    spec_iface: &LayerInterface,
+    relation: &SimRelation,
+    pid: Pid,
+    contexts: &[EnvContext],
+    scripts: &[OpScript],
+    fuel: u64,
+) -> Result<Obligation, LayerError> {
+    let mut cases_checked = 0;
+    let mut cases_skipped = 0;
+    for (ci, env) in contexts.iter().enumerate() {
+        'script: for (si, script) in scripts.iter().enumerate() {
+            let mut impl_machine =
+                LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
+            let mut impl_rets = Vec::with_capacity(script.len());
+            for (name, args) in script {
+                match impl_machine.call_prim(name, args) {
+                    Ok(v) => impl_rets.push(v),
+                    Err(e) if e.is_invalid_context() => {
+                        cases_skipped += 1;
+                        continue 'script;
+                    }
+                    Err(e) => return Err(LayerError::Machine(e)),
+                }
+            }
+            let expected = relation.abstracted(&impl_machine.log).ok_or_else(|| {
+                LayerError::Mismatch {
+                    expected: format!("log in domain of {}", relation.name()),
+                    found: impl_machine.log.to_string(),
+                    context: format!("sequence refinement, context #{ci}, script #{si}"),
+                }
+            })?;
+            let mut spec_machine =
+                LayerMachine::new(spec_iface.clone(), pid, replay_env(&expected, pid))
+                    .with_fuel(fuel);
+            let mut spec_rets = Vec::with_capacity(script.len());
+            for (name, args) in script {
+                match spec_machine.call_prim(name, args) {
+                    Ok(v) => spec_rets.push(v),
+                    Err(e) if e.is_invalid_context() => {
+                        cases_skipped += 1;
+                        continue 'script;
+                    }
+                    Err(e) => return Err(LayerError::Machine(e)),
+                }
+            }
+            if impl_rets != spec_rets {
+                return Err(LayerError::Mismatch {
+                    expected: format!("{spec_rets:?} (spec)"),
+                    found: format!("{impl_rets:?} (impl)"),
+                    context: format!("sequence refinement rets, context #{ci}, script #{si}"),
+                });
+            }
+            if !relation.holds(&impl_machine.log, &spec_machine.log) {
+                return Err(LayerError::Mismatch {
+                    expected: spec_machine.log.to_string(),
+                    found: impl_machine.log.to_string(),
+                    context: format!("sequence refinement logs, context #{ci}, script #{si}"),
+                });
+            }
+            cases_checked += 1;
+        }
+    }
+    Ok(Obligation {
+        rule: Rule::IfaceSim,
+        description: format!(
+            "{} ≤_{} {} on {} op scripts",
+            impl_iface.name,
+            relation.name(),
+            spec_iface.name,
+            scripts.len()
+        ),
+        cases_checked,
+        cases_skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccal_core::contexts::ContextGen;
+    use ccal_core::event::EventKind;
+    use ccal_core::layer::PrimSpec;
+
+    /// An "implementation" counter that stores state in the abstract state,
+    /// and a "spec" counter that replays the log — sequence refinement
+    /// relates them.
+    fn impl_iface() -> LayerInterface {
+        LayerInterface::builder("ctr-impl")
+            .prim(PrimSpec::atomic("bump", |ctx, _| {
+                let n = ctx.abs.get_or_undef("n").as_int().unwrap_or(0) + 1;
+                ctx.abs.set("n", Val::Int(n));
+                ctx.emit(EventKind::Prim("bump".into(), vec![]));
+                Ok(Val::Int(n))
+            }))
+            .build()
+    }
+
+    fn spec_iface() -> LayerInterface {
+        LayerInterface::builder("ctr-spec")
+            .prim(PrimSpec::atomic("bump", |ctx, _| {
+                ctx.emit(EventKind::Prim("bump".into(), vec![]));
+                let n = ctx
+                    .log
+                    .iter()
+                    .filter(|e| e.pid == ctx.pid && matches!(&e.kind, EventKind::Prim(p, _) if p == "bump"))
+                    .count();
+                Ok(Val::Int(n as i64))
+            }))
+            .build()
+    }
+
+    #[test]
+    fn stateful_and_replay_counters_agree_on_scripts() {
+        let contexts = ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(2)
+            .contexts();
+        let scripts = vec![
+            vec![("bump".to_owned(), vec![]); 3],
+            vec![("bump".to_owned(), vec![])],
+        ];
+        let ob = check_sequence_refinement(
+            &impl_iface(),
+            &spec_iface(),
+            &SimRelation::identity(),
+            Pid(0),
+            &contexts,
+            &scripts,
+            100_000,
+        )
+        .unwrap();
+        assert!(ob.cases_checked > 0);
+    }
+
+    #[test]
+    fn detects_divergence_mid_script() {
+        // A broken spec that counts *all* pids' bumps diverges once the
+        // env also bumps — but with an idle env it agrees; use a
+        // deliberately wrong impl instead: skips every third increment.
+        let broken = LayerInterface::builder("ctr-broken")
+            .prim(PrimSpec::atomic("bump", |ctx, _| {
+                let n = ctx.abs.get_or_undef("n").as_int().unwrap_or(0) + 1;
+                ctx.abs.set("n", Val::Int(n));
+                ctx.emit(EventKind::Prim("bump".into(), vec![]));
+                Ok(Val::Int(if n >= 3 { n + 1 } else { n }))
+            }))
+            .build();
+        let contexts = vec![ContextGen::new(vec![Pid(0)]).round_robin()];
+        let scripts = vec![vec![("bump".to_owned(), vec![]); 4]];
+        let err = check_sequence_refinement(
+            &broken,
+            &spec_iface(),
+            &SimRelation::identity(),
+            Pid(0),
+            &contexts,
+            &scripts,
+            100_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LayerError::Mismatch { .. }));
+    }
+}

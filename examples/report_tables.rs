@@ -1,0 +1,10 @@
+//! Prints the Table 1 / Table 2 analogs and the B1 scaling comparison in
+//! one run (the same generators the benchmark targets use).
+//!
+//! Run with `cargo run --release --example report_tables`.
+
+fn main() {
+    println!("{}", ccal_bench::tables::render_table1());
+    println!("{}", ccal_bench::tables::render_table2());
+    println!("{}", ccal_bench::scaling::render_scaling(&[2, 3, 4]));
+}

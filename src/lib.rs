@@ -1,0 +1,17 @@
+//! # ccal — Certified Concurrent Abstraction Layers, in Rust
+//!
+//! Facade crate for the reproduction of *"Certified Concurrent
+//! Abstraction Layers"* (Gu et al., PLDI 2018). Re-exports the component
+//! crates and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with [`core`]'s crate docs for the model, then
+//! `examples/quickstart.rs` for the ticket-lock walkthrough of the
+//! paper's §2.
+
+pub use ccal_clightx as clightx;
+pub use ccal_compcertx as compcertx;
+pub use ccal_core as core;
+pub use ccal_machine as machine;
+pub use ccal_objects as objects;
+pub use ccal_verifier as verifier;

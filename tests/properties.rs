@@ -1,0 +1,169 @@
+//! Cross-crate property-based tests: the load-bearing theorems hold on
+//! randomly generated programs and schedules, not just the hand-picked
+//! ones.
+
+use std::collections::BTreeMap;
+
+use ccal::core::conc::ThreadScript;
+use ccal::core::event::EventKind;
+use ccal::core::id::{Loc, Pid};
+use ccal::core::log::Log;
+use ccal::core::val::Val;
+use ccal::machine::linking::check_multicore_linking;
+use ccal::machine::mx86::Mx86Program;
+use proptest::prelude::*;
+
+/// A random per-CPU script over the race-free subset of the hardware
+/// primitives: ticket-lock ops on a shared word plus pull/push on a
+/// CPU-private location.
+fn cpu_script(cpu: u32) -> impl Strategy<Value = ThreadScript> {
+    let own_loc = Loc(10 + cpu);
+    proptest::collection::vec(0_u8..4, 0..5).prop_map(move |ops| {
+        let mut script = ThreadScript::new();
+        for op in ops {
+            match op {
+                0 => script.push(("fai_t".to_owned(), vec![Val::Loc(Loc(0))])),
+                1 => script.push(("get_n".to_owned(), vec![Val::Loc(Loc(0))])),
+                2 => script.push(("inc_n".to_owned(), vec![Val::Loc(Loc(0))])),
+                _ => {
+                    script.push(("pull".to_owned(), vec![Val::Loc(own_loc)]));
+                    script.push((
+                        "mset".to_owned(),
+                        vec![Val::Loc(own_loc), Val::Int(i64::from(cpu))],
+                    ));
+                    script.push(("push".to_owned(), vec![Val::Loc(own_loc)]));
+                }
+            }
+        }
+        script
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3.1 on random programs: every bounded hardware
+    /// interleaving is matched by the layer machine.
+    #[test]
+    fn multicore_linking_holds_on_random_programs(
+        s0 in cpu_script(0),
+        s1 in cpu_script(1),
+    ) {
+        let mut program = Mx86Program::new();
+        program.insert(Pid(0), s0);
+        program.insert(Pid(1), s1);
+        let ob = check_multicore_linking(2, &program, 3, 8)
+            .expect("Thm 3.1 holds on random programs");
+        prop_assert!(ob.cases_checked + ob.cases_skipped > 0);
+    }
+
+    /// Ticket replay is a fold: appending any event changes `next` and
+    /// `serving` by the expected deltas.
+    #[test]
+    fn ticket_replay_is_compositional(ops in proptest::collection::vec(0_u8..3, 0..24)) {
+        use ccal::core::replay::replay_ticket;
+        let b = Loc(0);
+        let mut log = Log::new();
+        let mut next = 0_u64;
+        let mut serving = 0_u64;
+        for (i, op) in ops.iter().enumerate() {
+            let pid = Pid((i % 3) as u32);
+            match op {
+                0 => {
+                    log.append(ccal::core::event::Event::new(pid, EventKind::FaiT(b)));
+                    next += 1;
+                }
+                1 => {
+                    log.append(ccal::core::event::Event::new(pid, EventKind::IncN(b)));
+                    serving += 1;
+                }
+                _ => log.append(ccal::core::event::Event::new(pid, EventKind::GetN(b))),
+            }
+            let st = replay_ticket(&log, b);
+            prop_assert_eq!(st.next, next);
+            prop_assert_eq!(st.serving, serving);
+        }
+    }
+
+    /// The shared queue is linearizable on random two-participant
+    /// workloads: every dequeue observes exactly the replayed FIFO front.
+    #[test]
+    fn shared_queue_random_workloads_are_linearizable(
+        ops0 in proptest::collection::vec((0_u8..2, 1_i64..100), 0..4),
+        ops1 in proptest::collection::vec((0_u8..2, 1_i64..100), 0..4),
+        sched_seed in 0_usize..8,
+    ) {
+        use ccal::core::conc::ConcurrentMachine;
+        use ccal::core::env::EnvContext;
+        use ccal::core::id::PidSet;
+        use ccal::core::strategy::ScriptScheduler;
+        use ccal::objects::sharedq;
+        use std::sync::Arc;
+
+        let q = Loc(3);
+        let to_script = |ops: Vec<(u8, i64)>| -> ThreadScript {
+            ops.into_iter()
+                .map(|(kind, v)| {
+                    if kind == 0 {
+                        ("enQ".to_owned(), vec![Val::Loc(q), Val::Int(v)])
+                    } else {
+                        ("deQ".to_owned(), vec![Val::Loc(q)])
+                    }
+                })
+                .collect()
+        };
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(0), to_script(ops0));
+        programs.insert(Pid(1), to_script(ops1));
+
+        let module = ccal::clightx::clightx_module("Mq", sharedq::SHAREDQ_SOURCE)
+            .expect("parses");
+        let iface = module.install(&sharedq::sharedq_underlay()).expect("installs");
+        let script: Vec<Pid> = (0..3).map(|i| Pid(((sched_seed >> i) & 1) as u32)).collect();
+        let env = EnvContext::new(Arc::new(ScriptScheduler::new(
+            script,
+            vec![Pid(0), Pid(1)],
+        )));
+        let machine = ConcurrentMachine::new(
+            iface,
+            PidSet::from_pids([Pid(0), Pid(1)]),
+            env,
+        )
+        .with_fuel(500_000);
+        let out = machine.run(&programs).expect("workload completes");
+        let history = sharedq::rq_relation().abstracted(&out.log).expect("abstractable");
+        let validate = ccal::verifier::fifo_history_validator("deQ");
+        prop_assert!(validate(&history, &out.rets).is_ok());
+    }
+
+    /// Thread-safe linking holds on random frame-allocation schedules
+    /// (the N-thread generalization of Fig. 12).
+    #[test]
+    fn threaded_linking_on_random_schedules(
+        schedule in proptest::collection::vec((0_u32..5, 0_usize..4), 0..16)
+    ) {
+        let out = ccal::compcertx::simulate_threaded_linking(&schedule)
+            .expect("m1 ⊛ ... ⊛ mN ≃ m");
+        let total: usize = schedule.iter().map(|(_, f)| f).sum();
+        prop_assert_eq!(out.cpu_memory.nb() as usize, total);
+    }
+
+    /// Random arithmetic ClightX programs compile correctly: CompCertX
+    /// translation validation never finds a mismatch.
+    #[test]
+    fn compcertx_validates_random_arithmetic(
+        a in -20_i64..20,
+        b in 1_i64..20,
+        c in -20_i64..20,
+    ) {
+        use ccal::compcertx::{compcertx, ValidateOptions};
+        use ccal::core::contexts::ContextGen;
+        let src = format!(
+            "int f(int x) {{ int y = x * {a} + {c}; while (y > {b}) {{ y = y - {b}; }} if (y < 0) {{ return -y; }} return y; }}"
+        );
+        let iface = ccal::core::layer::LayerInterface::builder("L").build();
+        let opts = ValidateOptions::new(vec![ContextGen::new(vec![Pid(0)]).round_robin()]);
+        let compiled = compcertx("M", &src, &iface, &opts).expect("validates");
+        prop_assert!(compiled.certificate.total_cases() > 0);
+    }
+}
