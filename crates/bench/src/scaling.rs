@@ -20,7 +20,8 @@ use ccal_core::sim::SimRelation;
 use ccal_objects::ticket::{l0_interface, lock_low_interface, m1_module, TicketEnvPlayer};
 use std::sync::Arc;
 
-/// One row of the scaling comparison.
+/// One row of the scaling comparison, including the serial-vs-parallel
+/// exploration axis.
 #[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// Schedule prefix length per participant.
@@ -31,23 +32,26 @@ pub struct ScalingRow {
     /// Contexts the compositional route explored (two per-participant
     /// checks).
     pub compositional_contexts: usize,
-    /// Wall time of the compositional certification (both participants +
-    /// `Pcomp`).
+    /// Wall time of the serial compositional certification (1 worker,
+    /// dedup off — the reference engine).
     pub compositional_time: Duration,
+    /// Wall time with `workers` threads, dedup off.
+    pub parallel_time: Duration,
+    /// Wall time with `workers` threads *and* symmetric-schedule dedup.
+    pub parallel_dedup_time: Duration,
+    /// Worker threads used for the parallel runs.
+    pub workers: usize,
     /// Checking cases discharged.
     pub cases: usize,
 }
 
-/// Runs the compositional ticket-lock certification at the given schedule
-/// length for both participants and parallel-composes them, reporting the
-/// explored-context accounting.
-///
-/// # Panics
-///
-/// Panics if certification fails — the configuration is expected to be
-/// correct.
-pub fn compositional_row(schedule_len: usize) -> ScalingRow {
+/// One timed compositional certification: both participants checked at
+/// `schedule_len` with the given engine settings, then `Pcomp`-composed.
+/// Returns the total contexts explored, the discharged cases, and the
+/// wall time.
+fn certify_both(schedule_len: usize, workers: usize, dedup: bool) -> (usize, usize, Duration) {
     let b = Loc(0);
+    let m1 = m1_module().expect("M1 parses");
     let start = Instant::now();
     let mut layers = Vec::new();
     let mut contexts_used = 0;
@@ -59,10 +63,12 @@ pub fn compositional_row(schedule_len: usize) -> ScalingRow {
         contexts_used += contexts.len();
         let opts = CheckOptions::new(contexts)
             .with_workload("acq", vec![vec![ccal_core::val::Val::Loc(b)]])
-            .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]]);
+            .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]])
+            .with_workers(workers)
+            .with_dedup(dedup);
         let layer = check_fun(
             &l0_interface(),
-            &m1_module().expect("M1 parses"),
+            &m1,
             &lock_low_interface(),
             &SimRelation::identity(),
             me,
@@ -72,13 +78,46 @@ pub fn compositional_row(schedule_len: usize) -> ScalingRow {
         layers.push(layer);
     }
     let composed = pcomp(&layers[0], &layers[1]).expect("compatible layers");
-    let compositional_time = start.elapsed();
+    (
+        contexts_used,
+        composed.certificate.total_cases(),
+        start.elapsed(),
+    )
+}
+
+/// Runs the compositional ticket-lock certification at the given schedule
+/// length with the default worker count, reporting the explored-context
+/// accounting and serial/parallel/dedup timings.
+///
+/// # Panics
+///
+/// Panics if certification fails — the configuration is expected to be
+/// correct.
+pub fn compositional_row(schedule_len: usize) -> ScalingRow {
+    compositional_row_tuned(schedule_len, ccal_core::par::default_workers())
+}
+
+/// [`compositional_row`] with an explicit worker count for the parallel
+/// runs (the serial reference always uses 1 worker, dedup off).
+///
+/// # Panics
+///
+/// Panics if certification fails.
+pub fn compositional_row_tuned(schedule_len: usize, workers: usize) -> ScalingRow {
+    let (contexts_used, cases, compositional_time) = certify_both(schedule_len, 1, false);
+    let (_, parallel_cases, parallel_time) = certify_both(schedule_len, workers, false);
+    let (_, dedup_cases, parallel_dedup_time) = certify_both(schedule_len, workers, true);
+    assert_eq!(cases, parallel_cases, "parallel run diverged from serial");
+    assert_eq!(cases, dedup_cases, "dedup run diverged from serial");
     ScalingRow {
         schedule_len,
         monolithic_contexts: 2_usize.pow(2 * schedule_len as u32),
         compositional_contexts: contexts_used,
         compositional_time,
-        cases: composed.certificate.total_cases(),
+        parallel_time,
+        parallel_dedup_time,
+        workers,
+        cases,
     }
 }
 
@@ -86,25 +125,32 @@ pub fn compositional_row(schedule_len: usize) -> ScalingRow {
 pub fn render_scaling(lens: &[usize]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    let workers = ccal_core::par::default_workers();
     let _ = writeln!(
         out,
-        "B1 — compositional vs. monolithic schedule-space exploration (2 participants)"
+        "B1 — compositional vs. monolithic exploration, serial vs. parallel engine \
+         (2 participants, {workers} workers)"
     );
     let _ = writeln!(
         out,
-        "{:>4} {:>14} {:>16} {:>10} {:>12}",
-        "len", "monolithic", "compositional", "cases", "time"
+        "{:>4} {:>12} {:>14} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "len", "monolithic", "compositional", "cases", "serial", "parallel", "par+dedup", "speedup"
     );
     for &len in lens {
         let row = compositional_row(len);
+        let speedup =
+            row.compositional_time.as_secs_f64() / row.parallel_dedup_time.as_secs_f64().max(1e-9);
         let _ = writeln!(
             out,
-            "{:>4} {:>14} {:>16} {:>10} {:>12?}",
+            "{:>4} {:>12} {:>14} {:>8} {:>12?} {:>12?} {:>12?} {:>7.2}x",
             row.schedule_len,
             row.monolithic_contexts,
             row.compositional_contexts,
             row.cases,
-            row.compositional_time
+            row.compositional_time,
+            row.parallel_time,
+            row.parallel_dedup_time,
+            speedup
         );
     }
     out

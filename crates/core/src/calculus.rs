@@ -92,7 +92,7 @@ impl fmt::Display for Rule {
 }
 
 /// One discharged obligation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Obligation {
     /// The rule that discharged it.
     pub rule: Rule,
@@ -117,7 +117,7 @@ impl fmt::Display for Obligation {
 /// The runtime stand-in for a mechanized proof object: the full record of
 /// obligations discharged while building a certified layer, plus the probe
 /// logs reused for `Compat` side conditions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Certificate {
     obligations: Vec<Obligation>,
     /// Logs reached during checking, used as probes by [`pcomp`].
@@ -303,6 +303,21 @@ impl CheckOptions {
     /// Sets the setup script run before each checked invocation of `prim`.
     pub fn with_setup(mut self, prim: &str, setup: Vec<(String, Vec<Val>)>) -> Self {
         self.setups.insert(prim.to_owned(), setup);
+        self
+    }
+
+    /// Sets the worker-thread count for case-grid exploration (1 = serial).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.sim.workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables upper-run memoization across symmetric
+    /// schedules.
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.sim.dedup = dedup;
         self
     }
 

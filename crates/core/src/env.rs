@@ -67,10 +67,14 @@ impl std::error::Error for EnvError {}
 /// without an explicit strategy are treated as [`IdleStrategy`] — "even if
 /// a thread `t` is never created, the semantics ... is still well defined"
 /// (§7, *Treatment of Parallel Composition*).
+///
+/// Contexts are cloned once per checked case by the bounded checker; the
+/// player map is `Arc`-backed so a clone is two reference-count bumps
+/// regardless of how many players the context carries.
 #[derive(Clone)]
 pub struct EnvContext {
     scheduler: Arc<dyn Strategy>,
-    players: BTreeMap<Pid, Arc<dyn Strategy>>,
+    players: Arc<BTreeMap<Pid, Arc<dyn Strategy>>>,
     /// Fuel bound on a single query process; encodes the fairness bound
     /// `m` of the rely conditions (§4.1).
     fuel: u64,
@@ -84,14 +88,14 @@ impl EnvContext {
     pub fn new(scheduler: Arc<dyn Strategy>) -> Self {
         Self {
             scheduler,
-            players: BTreeMap::new(),
+            players: Arc::new(BTreeMap::new()),
             fuel: Self::DEFAULT_FUEL,
         }
     }
 
     /// Adds (or replaces) the strategy of environment participant `pid`.
     pub fn with_player(mut self, pid: Pid, strategy: Arc<dyn Strategy>) -> Self {
-        self.players.insert(pid, strategy);
+        Arc::make_mut(&mut self.players).insert(pid, strategy);
         self
     }
 

@@ -294,11 +294,15 @@ impl fmt::Debug for PrimSpec {
 /// A concurrent layer interface `L` (to be focused as `L[A]` by a machine):
 /// primitives, rely/guarantee conditions, the critical-state predicate and
 /// the initial abstract state.
+///
+/// The primitive table is `Arc`-backed: the bounded checker clones the
+/// interface once per checked case, so that clone must stay a handful of
+/// reference-count bumps even for wide interfaces.
 #[derive(Clone)]
 pub struct LayerInterface {
     /// The interface's name (e.g. `"L0"`, `"L_lock"`).
     pub name: String,
-    prims: BTreeMap<String, PrimSpec>,
+    prims: Arc<BTreeMap<String, PrimSpec>>,
     /// Rely and guarantee conditions (§3.2).
     pub conditions: RelyGuarantee,
     critical: Arc<CriticalFn>,
@@ -363,8 +367,8 @@ impl LayerInterface {
     /// [`MachineError::DuplicatePrim`] if both define a primitive of the
     /// same name.
     pub fn join(&self, other: &LayerInterface) -> Result<LayerInterface, MachineError> {
-        let mut prims = self.prims.clone();
-        for (k, v) in &other.prims {
+        let mut prims = (*self.prims).clone();
+        for (k, v) in other.prims.iter() {
             if prims.insert(k.clone(), v.clone()).is_some() {
                 return Err(MachineError::DuplicatePrim {
                     prim: k.clone(),
@@ -376,7 +380,7 @@ impl LayerInterface {
         let c2 = other.critical.clone();
         Ok(LayerInterface {
             name: format!("{} ⊕ {}", self.name, other.name),
-            prims,
+            prims: Arc::new(prims),
             conditions: RelyGuarantee::new(
                 self.conditions.rely.and(&other.conditions.rely),
                 self.conditions.guarantee.and(&other.conditions.guarantee),
@@ -438,7 +442,7 @@ impl LayerInterfaceBuilder {
     pub fn build(self) -> LayerInterface {
         LayerInterface {
             name: self.name,
-            prims: self.prims,
+            prims: Arc::new(self.prims),
             conditions: self.conditions,
             critical: self.critical,
             init_abs: self.init_abs,

@@ -81,6 +81,7 @@ pub mod layer;
 pub mod log;
 pub mod machine;
 pub mod module;
+pub mod par;
 pub mod refine;
 pub mod rely;
 pub mod replay;

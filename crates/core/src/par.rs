@@ -1,0 +1,148 @@
+//! Parallel case-grid exploration for the bounded checkers.
+//!
+//! Every bounded check in the toolkit — simulation, liveness,
+//! linearizability, race freedom, sequence refinement — enumerates a
+//! finite grid of independent cases (environment context × argument
+//! vector) and folds the per-case outcomes in case order, stopping at the
+//! first failure. [`run_cases`] parallelizes exactly that shape: a shared
+//! atomic work queue hands case indices to `std::thread::scope` workers,
+//! a terminal outcome (a failure) short-circuits the remaining work, and
+//! the caller folds the returned slots **in index order** — which makes
+//! the parallel run bit-identical to the serial one (same evidence, same
+//! first failure) for any deterministic per-case function.
+//!
+//! # Determinism contract
+//!
+//! For a pure `run` function, `run_cases` guarantees that every index
+//! smaller than the smallest terminal index is `Some`: indices are handed
+//! out in order, workers only abandon an index strictly greater than an
+//! already-discovered terminal index, and the terminal minimum only ever
+//! decreases to indices that really are terminal. Indices past the first
+//! terminal outcome may or may not be present; an in-order fold never
+//! reads them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the `CCAL_WORKERS` environment variable if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("CCAL_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `run(0..total)` across `workers` threads, short-circuiting past
+/// the smallest index whose outcome satisfies `is_terminal`.
+///
+/// Returns one slot per index. Slot `i` is `Some` for every `i` up to and
+/// including the smallest terminal index (and for every `i` when no
+/// outcome is terminal); later slots may be `None` (skipped work). With
+/// `workers <= 1` the grid is explored serially on the calling thread —
+/// the reference behavior the parallel path reproduces.
+pub fn run_cases<T, R, S>(total: usize, workers: usize, run: R, is_terminal: S) -> Vec<Option<T>>
+where
+    T: Send,
+    R: Fn(usize) -> T + Sync,
+    S: Fn(&T) -> bool + Sync,
+{
+    let workers = workers.clamp(1, total.max(1));
+    if workers <= 1 {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+        for i in 0..total {
+            let outcome = run(i);
+            let terminal = is_terminal(&outcome);
+            slots.push(Some(outcome));
+            if terminal {
+                break;
+            }
+        }
+        slots.resize_with(total, || None);
+        return slots;
+    }
+    let next = AtomicUsize::new(0);
+    let min_terminal = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total || i > min_terminal.load(Ordering::Relaxed) {
+                    break;
+                }
+                let outcome = run(i);
+                if is_terminal(&outcome) {
+                    min_terminal.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold_first_failure(slots: Vec<Option<i32>>) -> (Vec<i32>, Option<i32>) {
+        let mut seen = Vec::new();
+        for slot in slots {
+            match slot {
+                Some(v) if v < 0 => return (seen, Some(v)),
+                Some(v) => seen.push(v),
+                None => break,
+            }
+        }
+        (seen, None)
+    }
+
+    #[test]
+    fn parallel_fold_matches_serial() {
+        let run = |i: usize| i as i32 * 3;
+        let serial = fold_first_failure(run_cases(100, 1, run, |v| *v < 0));
+        let parallel = fold_first_failure(run_cases(100, 4, run, |v| *v < 0));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.0.len(), 100);
+    }
+
+    #[test]
+    fn first_terminal_index_is_deterministic() {
+        // Cases 17, 40 and 77 "fail"; the fold must always report 17.
+        let run = |i: usize| {
+            if matches!(i, 17 | 40 | 77) {
+                -(i as i32)
+            } else {
+                i as i32
+            }
+        };
+        for workers in [1, 2, 4, 8] {
+            let slots = run_cases(100, workers, run, |v| *v < 0);
+            // Everything before the first failure was computed.
+            assert!(slots[..17].iter().all(Option::is_some), "workers={workers}");
+            let (seen, failure) = fold_first_failure(slots);
+            assert_eq!(failure, Some(-17), "workers={workers}");
+            assert_eq!(seen, (0..17).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_cases(0, 4, |i| i, |_| false).is_empty());
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -153,7 +153,7 @@ impl Conditions {
 /// A suite of `(pid, log)` probes used for empirical implication checking.
 /// Verifiers collect the logs reached while checking a layer and reuse them
 /// as probes for `Compat` side conditions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProbeSuite {
     probes: Vec<(Pid, Log)>,
 }

@@ -224,8 +224,15 @@ pub fn replay_atomic_lock(log: &Log, b: Loc) -> Result<Option<Pid>, ReplayError>
 /// (front first). A `deQ` of an empty queue is *not* stuck: the paper's
 /// `σ_deQ_t` returns `-1` for an empty queue.
 pub fn replay_atomic_queue(log: &Log, q: crate::id::QId) -> Vec<Val> {
+    replay_queue_events(log.as_slice(), q)
+}
+
+/// Slice-level worker for [`replay_atomic_queue`], so prefix replays (e.g.
+/// [`deq_result`]) can fold over a sub-slice without materializing a
+/// prefix `Log`.
+fn replay_queue_events(events: &[Event], q: crate::id::QId) -> Vec<Val> {
     let mut items: Vec<Val> = Vec::new();
-    for e in log.iter() {
+    for e in events {
         match &e.kind {
             EventKind::EnQ(qid, v) if *qid == q => items.push(v.clone()),
             EventKind::DeQ(qid) if *qid == q
@@ -251,8 +258,7 @@ pub fn deq_result(log: &Log, at: usize) -> Val {
         EventKind::DeQ(q) => q,
         _ => panic!("deq_result called on non-deQ event {e}"),
     };
-    let prefix = Log::from_events(log.iter().take(at).cloned());
-    let items = replay_atomic_queue(&prefix, q);
+    let items = replay_queue_events(&log.as_slice()[..at], q);
     items.into_iter().next().unwrap_or(Val::Int(-1))
 }
 

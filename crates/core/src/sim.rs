@@ -28,9 +28,24 @@
 //! (4) runs the upper strategy under it, and (5) compares logs modulo `R`
 //! and return values. Contexts that violate the rely condition are skipped
 //! — the definition only quantifies over valid contexts.
+//!
+//! # Parallel exploration and state dedup
+//!
+//! The `(context × argument-vector)` grid is explored by
+//! [`crate::par::run_cases`]: a shared atomic work queue over
+//! `std::thread::scope` workers ([`SimOptions::workers`], overridable with
+//! `CCAL_WORKERS`), folding outcomes in case order so the result — the
+//! evidence, the probe order, and the *first* failure — is bit-identical
+//! to the serial exploration. Additionally, symmetric schedules are
+//! checked once: many contexts differ only in environment interleaving
+//! and abstract to the same replayed upper event sequence, so the upper
+//! run is memoized keyed on that sequence plus the argument vector
+//! ([`SimOptions::dedup`]). Cache hits replay the recorded outcome, which
+//! keeps the evidence (case counts, probes) identical to a dedup-free run.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::env::EnvContext;
 use crate::event::Event;
@@ -46,24 +61,43 @@ type EventAbsFn = dyn Fn(&Event) -> Vec<Event> + Send + Sync;
 type LogAbsFn = dyn Fn(&Log) -> Option<Log> + Send + Sync;
 
 #[derive(Clone)]
-enum RelKind {
+enum RelStage {
     PerEvent(Arc<EventAbsFn>),
     Whole(Arc<LogAbsFn>),
 }
 
 /// An executable simulation relation `R` between a lower (concrete) and an
 /// upper (abstract) layer's logs.
+///
+/// Internally a relation is a *chain* of abstraction stages; composition
+/// ([`SimRelation::then`]) concatenates chains instead of nesting
+/// closures, so an `n`-deep `Vcomp` tower abstracts a log in `n` passes
+/// with no intermediate closure or relation clones.
 #[derive(Clone)]
 pub struct SimRelation {
     name: String,
-    kind: RelKind,
+    stages: Arc<Vec<RelStage>>,
+}
+
+/// Composed relations, memoized by `(lower name, upper name)`. Relation
+/// names identify their relations globally (the same convention
+/// `crate::rely::Conditions` uses for structural implication), so `Vcomp`
+/// towers that re-compose the same pair — once per certified primitive —
+/// reuse one chain.
+fn composed_relations() -> &'static Mutex<HashMap<(String, String), SimRelation>> {
+    static CACHE: OnceLock<Mutex<HashMap<(String, String), SimRelation>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 impl SimRelation {
     /// The identity relation `id`: logs must agree event-for-event
-    /// (ignoring scheduling events).
+    /// (ignoring scheduling events). The empty stage chain — abstraction
+    /// is a reference-count bump on sched-free logs.
     pub fn identity() -> Self {
-        Self::per_event("id", |e| vec![e.clone()])
+        Self {
+            name: "id".to_owned(),
+            stages: Arc::new(Vec::new()),
+        }
     }
 
     /// A relation given by a per-event abstraction function. Return an
@@ -75,7 +109,7 @@ impl SimRelation {
     {
         Self {
             name: name.to_owned(),
-            kind: RelKind::PerEvent(Arc::new(f)),
+            stages: Arc::new(vec![RelStage::PerEvent(Arc::new(f))]),
         }
     }
 
@@ -91,7 +125,7 @@ impl SimRelation {
     {
         Self {
             name: name.to_owned(),
-            kind: RelKind::Whole(Arc::new(f)),
+            stages: Arc::new(vec![RelStage::Whole(Arc::new(f))]),
         }
     }
 
@@ -103,17 +137,20 @@ impl SimRelation {
     /// Applies the abstraction to a lower log, producing the related upper
     /// log (without scheduling events), or `None` if outside the domain.
     pub fn abstracted(&self, lower: &Log) -> Option<Log> {
-        let stripped = lower.without_sched();
-        match &self.kind {
-            RelKind::PerEvent(f) => {
-                let mut out = Log::new();
-                for e in stripped.iter() {
-                    out.append_all(f(e));
+        let mut cur = lower.without_sched();
+        for stage in self.stages.iter() {
+            cur = match stage {
+                RelStage::PerEvent(f) => {
+                    let mut out = Vec::with_capacity(cur.len());
+                    for e in cur.iter() {
+                        out.extend(f(e));
+                    }
+                    Log::from_events(out)
                 }
-                Some(out)
-            }
-            RelKind::Whole(f) => f(&stripped),
+                RelStage::Whole(f) => f(&cur)?,
+            };
         }
+        Some(cur)
     }
 
     /// Whether `R(lower, upper)` holds: the abstraction of `lower` equals
@@ -127,30 +164,32 @@ impl SimRelation {
 
     /// Relation composition `self ∘ next` in diagram order: `self` relates
     /// `L₁→L₂` and `next` relates `L₂→L₃`; the result relates `L₁→L₃`.
-    /// Used by the `Vcomp` and `Wk` rules (Fig. 9).
+    /// Used by the `Vcomp` and `Wk` rules (Fig. 9). Concatenates the stage
+    /// chains and memoizes the result by name pair.
     pub fn then(&self, next: &SimRelation) -> SimRelation {
-        let name = format!("{} ∘ {}", self.name, next.name);
-        match (&self.kind, &next.kind) {
-            (RelKind::PerEvent(f), RelKind::PerEvent(g)) => {
-                let (f, g) = (f.clone(), g.clone());
-                SimRelation {
-                    name,
-                    kind: RelKind::PerEvent(Arc::new(move |e| {
-                        f(e).iter().flat_map(|mid| g(mid)).collect()
-                    })),
-                }
-            }
-            _ => {
-                let first = self.clone();
-                let second = next.clone();
-                SimRelation {
-                    name,
-                    kind: RelKind::Whole(Arc::new(move |l| {
-                        first.abstracted(l).and_then(|mid| second.abstracted(&mid))
-                    })),
-                }
-            }
+        let key = (self.name.clone(), next.name.clone());
+        if let Some(hit) = composed_relations()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return hit.clone();
         }
+        let stages: Vec<RelStage> = self
+            .stages
+            .iter()
+            .chain(next.stages.iter())
+            .cloned()
+            .collect();
+        let composed = SimRelation {
+            name: format!("{} ∘ {}", self.name, next.name),
+            stages: Arc::new(stages),
+        };
+        composed_relations()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, composed.clone());
+        composed
     }
 }
 
@@ -283,6 +322,16 @@ pub struct SimOptions {
     /// initial logs (e.g. a lock `rel` is checked from states reached by
     /// a preceding `acq`).
     pub setup: Vec<(String, Vec<Val>)>,
+    /// Worker threads exploring the case grid. Defaults to
+    /// [`crate::par::default_workers`] (the `CCAL_WORKERS` environment
+    /// variable, else the machine's available parallelism). `1` explores
+    /// serially; any value yields bit-identical results.
+    pub workers: usize,
+    /// Memoize upper-machine runs keyed on the replayed abstract event
+    /// sequence and argument vector, so symmetric schedules — contexts
+    /// whose logs abstract to the same upper environment — are explored
+    /// once. Never changes the verdict or the evidence; on by default.
+    pub dedup: bool,
 }
 
 impl Default for SimOptions {
@@ -291,7 +340,25 @@ impl Default for SimOptions {
             fuel: LayerMachine::DEFAULT_FUEL,
             compare_rets: true,
             setup: Vec::new(),
+            workers: crate::par::default_workers(),
+            dedup: true,
         }
+    }
+}
+
+impl SimOptions {
+    /// Sets the worker-thread count (1 = serial exploration).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables upper-run memoization.
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
     }
 }
 
@@ -318,8 +385,6 @@ pub fn check_prim_refinement(
     arg_vectors: &[Vec<Val>],
     opts: &SimOptions,
 ) -> Result<SimEvidence, Box<SimFailure>> {
-    let mut evidence = SimEvidence::default();
-    #[allow(clippy::items_after_statements)]
     let fail = |case: String, lower_log: Log, upper_log: Log, reason: String| {
         Box::new(SimFailure {
             lower: format!("{}::{}", lower_iface.name, lower_prim),
@@ -330,127 +395,183 @@ pub fn check_prim_refinement(
             reason,
         })
     };
-    for (ci, env) in contexts.iter().enumerate() {
-        for (ai, args) in arg_vectors.iter().enumerate() {
-            let case = format!("context #{ci}, args #{ai} {args:?}");
-            // 1. Run the lower machine (setup calls first).
-            let mut lower =
-                LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel);
-            let mut setup_failed = false;
-            for (sname, sargs) in &opts.setup {
-                match lower.call_prim(sname, sargs) {
-                    Ok(_) => {}
-                    Err(e) if e.is_invalid_context() => {
-                        setup_failed = true;
-                        break;
-                    }
-                    Err(e) => {
-                        return Err(fail(
-                            case.clone(),
-                            lower.log.clone(),
-                            Log::new(),
-                            format!("lower setup `{sname}` failed: {e}"),
-                        ));
-                    }
-                }
-            }
-            if setup_failed {
-                evidence.cases_skipped += 1;
-                continue;
-            }
-            let lower_ret = match lower.call_prim(lower_prim, args) {
-                Ok(v) => v,
-                Err(e) if e.is_invalid_context() => {
-                    evidence.cases_skipped += 1;
-                    continue;
-                }
+    // Outcome of one (context, argument-vector) case.
+    #[allow(clippy::items_after_statements)]
+    enum CaseOutcome {
+        Skipped,
+        Checked { lower_log: Log, upper_log: Log },
+        Failed(Box<SimFailure>),
+    }
+    // Outcome of the upper half of a case — a deterministic function of
+    // the replayed abstract event sequence and the argument vector, which
+    // makes it memoizable across symmetric schedules.
+    #[allow(clippy::items_after_statements)]
+    #[derive(Clone)]
+    enum UpperRun {
+        Skipped,
+        Failed { reason: String, upper_log: Log },
+        Done { upper_log: Log, upper_ret: Val },
+    }
+    let upper_cache: Mutex<HashMap<(Log, usize), UpperRun>> = Mutex::new(HashMap::new());
+    let run_upper = |expected: &Log, args: &[Val]| -> UpperRun {
+        let upper_env = replay_env(expected, pid);
+        let mut upper =
+            LayerMachine::new(upper_iface.clone(), pid, upper_env).with_fuel(opts.fuel);
+        for (sname, sargs) in &opts.setup {
+            match upper.call_prim(sname, sargs) {
+                Ok(_) => {}
+                Err(e) if e.is_invalid_context() => return UpperRun::Skipped,
                 Err(e) => {
-                    return Err(fail(
+                    return UpperRun::Failed {
+                        reason: format!("upper setup `{sname}` failed: {e}"),
+                        upper_log: upper.log.clone(),
+                    };
+                }
+            }
+        }
+        match upper.call_prim(upper_prim, args) {
+            Ok(upper_ret) => {
+                let _ = upper.deliver_env();
+                UpperRun::Done {
+                    upper_log: upper.log,
+                    upper_ret,
+                }
+            }
+            Err(e) if e.is_invalid_context() => UpperRun::Skipped,
+            Err(e) => UpperRun::Failed {
+                reason: format!("upper run failed: {e}"),
+                upper_log: upper.log,
+            },
+        }
+    };
+    let nargs = arg_vectors.len();
+    let total = contexts.len() * nargs;
+    let run_case = |idx: usize| -> CaseOutcome {
+        let (ci, ai) = (idx / nargs, idx % nargs);
+        let env = &contexts[ci];
+        let args = &arg_vectors[ai];
+        let case = format!("context #{ci}, args #{ai} {args:?}");
+        // 1. Run the lower machine (setup calls first).
+        let mut lower =
+            LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel);
+        for (sname, sargs) in &opts.setup {
+            match lower.call_prim(sname, sargs) {
+                Ok(_) => {}
+                Err(e) if e.is_invalid_context() => return CaseOutcome::Skipped,
+                Err(e) => {
+                    return CaseOutcome::Failed(fail(
                         case,
                         lower.log.clone(),
                         Log::new(),
-                        format!("lower run failed: {e}"),
+                        format!("lower setup `{sname}` failed: {e}"),
                     ));
                 }
-            };
-            // Flush trailing environment events so handoff-style
-            // abstractions (events authored during another participant's
-            // turn) are fully delivered before comparing.
-            let _ = lower.deliver_env();
-            // 2. Abstract the lower log to the related upper event sequence.
-            let expected = match relation.abstracted(&lower.log) {
-                Some(l) => l,
+            }
+        }
+        let lower_ret = match lower.call_prim(lower_prim, args) {
+            Ok(v) => v,
+            Err(e) if e.is_invalid_context() => return CaseOutcome::Skipped,
+            Err(e) => {
+                return CaseOutcome::Failed(fail(
+                    case,
+                    lower.log.clone(),
+                    Log::new(),
+                    format!("lower run failed: {e}"),
+                ));
+            }
+        };
+        // Flush trailing environment events so handoff-style
+        // abstractions (events authored during another participant's
+        // turn) are fully delivered before comparing.
+        let _ = lower.deliver_env();
+        // 2. Abstract the lower log to the related upper event sequence.
+        let expected = match relation.abstracted(&lower.log) {
+            Some(l) => l,
+            None => {
+                return CaseOutcome::Failed(fail(
+                    case,
+                    lower.log.clone(),
+                    Log::new(),
+                    format!("lower log outside domain of {}", relation.name),
+                ));
+            }
+        };
+        // 3–4. Replay it as the upper environment and run the upper
+        // strategy — memoized on (expected sequence, argument vector)
+        // when dedup is on, since the upper run depends on nothing else.
+        let upper_run = if opts.dedup {
+            let key = (expected.clone(), ai);
+            let hit = upper_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&key)
+                .cloned();
+            match hit {
+                Some(r) => r,
                 None => {
-                    return Err(fail(
+                    let r = run_upper(&expected, args);
+                    upper_cache
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .insert(key, r.clone());
+                    r
+                }
+            }
+        } else {
+            run_upper(&expected, args)
+        };
+        match upper_run {
+            UpperRun::Skipped => CaseOutcome::Skipped,
+            UpperRun::Failed { reason, upper_log } => {
+                CaseOutcome::Failed(fail(case, lower.log.clone(), upper_log, reason))
+            }
+            UpperRun::Done {
+                upper_log,
+                upper_ret,
+            } => {
+                // 5. Compare logs modulo R — `expected` *is* the
+                // abstraction of the lower log, so `R(lower, upper)`
+                // reduces to one comparison — and return values.
+                if expected != upper_log.without_sched() {
+                    return CaseOutcome::Failed(fail(
                         case,
                         lower.log.clone(),
-                        Log::new(),
-                        format!("lower log outside domain of {}", relation.name),
+                        upper_log,
+                        format!("logs not related by {}", relation.name),
                     ));
                 }
-            };
-            // 3–4. Replay it as the upper environment and run the upper
-            // strategy.
-            let upper_env = replay_env(&expected, pid);
-            let mut upper =
-                LayerMachine::new(upper_iface.clone(), pid, upper_env).with_fuel(opts.fuel);
-            for (sname, sargs) in &opts.setup {
-                match upper.call_prim(sname, sargs) {
-                    Ok(_) => {}
-                    Err(e) if e.is_invalid_context() => {
-                        setup_failed = true;
-                        break;
-                    }
-                    Err(e) => {
-                        return Err(fail(
-                            case.clone(),
-                            lower.log.clone(),
-                            upper.log.clone(),
-                            format!("upper setup `{sname}` failed: {e}"),
-                        ));
-                    }
-                }
-            }
-            if setup_failed {
-                evidence.cases_skipped += 1;
-                continue;
-            }
-            let upper_ret = match upper.call_prim(upper_prim, args) {
-                Ok(v) => v,
-                Err(e) if e.is_invalid_context() => {
-                    evidence.cases_skipped += 1;
-                    continue;
-                }
-                Err(e) => {
-                    return Err(fail(
+                if opts.compare_rets && lower_ret != upper_ret {
+                    return CaseOutcome::Failed(fail(
                         case,
-                        lower.log.clone(),
-                        upper.log.clone(),
-                        format!("upper run failed: {e}"),
+                        lower.log,
+                        upper_log,
+                        format!("return values differ: {lower_ret} vs {upper_ret}"),
                     ));
                 }
-            };
-            let _ = upper.deliver_env();
-            // 5. Compare logs modulo R and return values.
-            if !relation.holds(&lower.log, &upper.log) {
-                return Err(fail(
-                    case,
-                    lower.log.clone(),
-                    upper.log.clone(),
-                    format!("logs not related by {}", relation.name),
-                ));
+                CaseOutcome::Checked {
+                    lower_log: lower.log,
+                    upper_log,
+                }
             }
-            if opts.compare_rets && lower_ret != upper_ret {
-                return Err(fail(
-                    case,
-                    lower.log.clone(),
-                    upper.log.clone(),
-                    format!("return values differ: {lower_ret} vs {upper_ret}"),
-                ));
+        }
+    };
+    let slots = crate::par::run_cases(total, opts.workers, run_case, |o| {
+        matches!(o, CaseOutcome::Failed(_))
+    });
+    let mut evidence = SimEvidence::default();
+    for slot in slots {
+        match slot {
+            None => break,
+            Some(CaseOutcome::Skipped) => evidence.cases_skipped += 1,
+            Some(CaseOutcome::Checked {
+                lower_log,
+                upper_log,
+            }) => {
+                evidence.probes.push(pid, lower_log);
+                evidence.probes.push(pid, upper_log);
+                evidence.cases_checked += 1;
             }
-            evidence.probes.push(pid, lower.log.clone());
-            evidence.probes.push(pid, upper.log.clone());
-            evidence.cases_checked += 1;
+            Some(CaseOutcome::Failed(f)) => return Err(f),
         }
     }
     Ok(evidence)

@@ -1,0 +1,293 @@
+//! Offline wall-clock stand-in for the [`criterion`] benchmark harness.
+//!
+//! The crates.io registry is unreachable in this workspace's build
+//! environment, so the real `criterion` cannot be resolved. This crate
+//! implements the API subset the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!` — with a tiny wall-clock harness:
+//! warm up, run until a time budget is spent, report the mean.
+//!
+//! No statistics, plots, or history are produced. Pass `--quick` (or set
+//! `CCAL_BENCH_QUICK=1`) to shrink the time budget for smoke runs:
+//!
+//! ```text
+//! cargo bench -p ccal-bench --bench composition_scaling -- --quick
+//! ```
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Mirror of `criterion::BatchSize` (only the variant the workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output; setup runs once per iteration.
+    SmallInput,
+}
+
+/// Identifies one benchmark within a group (mirror of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Re-export parity with `criterion::black_box` (benches may also use
+/// `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Budget {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                warmup: Duration::from_millis(5),
+                measure: Duration::from_millis(20),
+            }
+        } else {
+            Self {
+                warmup: Duration::from_millis(50),
+                measure: Duration::from_millis(250),
+            }
+        }
+    }
+}
+
+/// Measures one benchmark routine (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    budget: Budget,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, including nothing else, reporting the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    /// Drives one timed iteration closure through warmup + measurement.
+    fn run<F: FnMut() -> Duration>(&mut self, mut one: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.budget.warmup {
+            one();
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.budget.measure && iters < 10_000_000 {
+            total += one();
+            iters += 1;
+        }
+        if iters == 0 {
+            total = one();
+            iters = 1;
+        }
+        self.result = Some((total / u32::try_from(iters).unwrap_or(u32::MAX), iters));
+    }
+}
+
+fn render_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks (mirror of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the wall-clock harness sizes runs
+    /// by time budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` on `input` under `group-name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    budget: Budget,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CCAL_BENCH_QUICK").is_some();
+        Self {
+            budget: Budget::new(quick),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, &mut routine);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            result: None,
+        };
+        routine(&mut bencher);
+        match bencher.result {
+            Some((mean, iters)) => {
+                println!("{name:<50} time: [{}]  ({iters} iterations)", render_duration(mean));
+            }
+            None => println!("{name:<50} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Groups benchmark functions into one callable (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            budget: Budget::new(true),
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let (mean, iters) = b.result.expect("measured");
+        assert!(iters > 0);
+        assert!(mean < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bencher {
+            budget: Budget::new(true),
+            result: None,
+        };
+        b.iter_batched(|| vec![0_u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("ticket", 4).to_string(), "ticket/4");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

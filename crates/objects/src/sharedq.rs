@@ -181,6 +181,23 @@ pub fn certify_shared_queue(
     q: Loc,
     contexts: Vec<ccal_core::env::EnvContext>,
 ) -> Result<CertifiedLayer, LayerError> {
+    certify_shared_queue_tuned(pid, q, contexts, ccal_core::par::default_workers(), true)
+}
+
+/// [`certify_shared_queue`] with explicit exploration settings — worker
+/// count and symmetric-schedule dedup — so differential tests and
+/// benchmarks can compare serial and parallel checking of the same layer.
+///
+/// # Errors
+///
+/// The first failed obligation.
+pub fn certify_shared_queue_tuned(
+    pid: Pid,
+    q: Loc,
+    contexts: Vec<ccal_core::env::EnvContext>,
+    workers: usize,
+    dedup: bool,
+) -> Result<CertifiedLayer, LayerError> {
     let m = ccal_clightx::clightx_module("Mq", SHAREDQ_SOURCE).map_err(|e| {
         LayerError::Machine(MachineError::Stuck(format!("Mq front-end: {e}")))
     })?;
@@ -188,7 +205,9 @@ pub fn certify_shared_queue(
         .with_workload("enQ", vec![vec![Val::Loc(q), Val::Int(7)]])
         .with_workload("deQ", vec![vec![Val::Loc(q)]])
         // Exercise deQ both on an empty queue and after an enqueue.
-        .with_setup("deQ", vec![("enQ".to_owned(), vec![Val::Loc(q), Val::Int(42)])]);
+        .with_setup("deQ", vec![("enQ".to_owned(), vec![Val::Loc(q), Val::Int(42)])])
+        .with_workers(workers)
+        .with_dedup(dedup);
     // The overlay has only enQ/deQ; underlay prims acq/rel are not
     // re-exported (they are hidden by the abstraction, as in Fig. 1 where
     // shared queues sit above spinlocks).

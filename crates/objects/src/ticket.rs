@@ -561,6 +561,31 @@ pub fn certify_ticket_stack(
     contexts_low: Vec<ccal_core::env::EnvContext>,
     contexts_atomic: Vec<ccal_core::env::EnvContext>,
 ) -> Result<TicketStack, LayerError> {
+    certify_ticket_stack_tuned(
+        pid,
+        b,
+        contexts_low,
+        contexts_atomic,
+        ccal_core::par::default_workers(),
+        true,
+    )
+}
+
+/// [`certify_ticket_stack`] with explicit exploration settings — worker
+/// count and symmetric-schedule dedup — so differential tests and
+/// benchmarks can compare serial and parallel checking of the same stack.
+///
+/// # Errors
+///
+/// The first failed obligation, as a [`LayerError`].
+pub fn certify_ticket_stack_tuned(
+    pid: Pid,
+    b: Loc,
+    contexts_low: Vec<ccal_core::env::EnvContext>,
+    contexts_atomic: Vec<ccal_core::env::EnvContext>,
+    workers: usize,
+    dedup: bool,
+) -> Result<TicketStack, LayerError> {
     let m1 = ccal_clightx::clightx_module("M1", M1_SOURCE).map_err(|e| {
         LayerError::Machine(MachineError::Stuck(format!("M1 front-end: {e}")))
     })?;
@@ -570,11 +595,15 @@ pub fn certify_ticket_stack(
     let lock_args = vec![vec![Val::Loc(b)]];
     let opts_low = CheckOptions::new(contexts_low)
         .with_workload("acq", lock_args.clone())
-        .with_workload("rel", lock_args.clone());
+        .with_workload("rel", lock_args.clone())
+        .with_workers(workers)
+        .with_dedup(dedup);
     let opts_atomic = CheckOptions::new(contexts_atomic)
         .with_workload("acq", lock_args.clone())
         .with_workload("rel", lock_args.clone())
-        .with_workload("foo", lock_args.clone());
+        .with_workload("foo", lock_args.clone())
+        .with_workers(workers)
+        .with_dedup(dedup);
 
     // Fun-lift: L0 ⊢_id M1 : L′1.
     let fun_lift = check_fun(

@@ -46,32 +46,54 @@ pub fn check_linearizability(
     contexts: &[EnvContext],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    for (ci, env) in contexts.iter().enumerate() {
+    // Interleavings are independent: explore on the shared work queue,
+    // fold in context order for a deterministic first counterexample.
+    #[allow(clippy::items_after_statements)]
+    enum Case {
+        Checked,
+        Skipped,
+        Failed(Box<LayerError>),
+    }
+    let run_case = |ci: usize| -> Case {
+        let env = &contexts[ci];
         let machine = ConcurrentMachine::new(impl_iface.clone(), focused.clone(), env.clone())
             .with_fuel(fuel);
         let out = match machine.run(programs) {
             Ok(out) => out,
-            Err(e) if e.is_invalid_context() => {
-                cases_skipped += 1;
-                continue;
-            }
-            Err(e) => return Err(LayerError::Machine(e)),
+            Err(e) if e.is_invalid_context() => return Case::Skipped,
+            Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
         };
-        let history = relation.abstracted(&out.log).ok_or_else(|| LayerError::Mismatch {
-            expected: format!("log in domain of {}", relation.name()),
-            found: out.log.to_string(),
-            context: format!("linearizability, context #{ci}"),
-        })?;
+        let Some(history) = relation.abstracted(&out.log) else {
+            return Case::Failed(Box::new(LayerError::Mismatch {
+                expected: format!("log in domain of {}", relation.name()),
+                found: out.log.to_string(),
+                context: format!("linearizability, context #{ci}"),
+            }));
+        };
         if let Err(msg) = validate_history(&history, &out.rets) {
-            return Err(LayerError::Mismatch {
+            return Case::Failed(Box::new(LayerError::Mismatch {
                 expected: "a legal atomic history".to_owned(),
                 found: format!("{msg}; history: {history}"),
                 context: format!("linearizability, context #{ci}"),
-            });
+            }));
         }
-        cases_checked += 1;
+        Case::Checked
+    };
+    let slots = ccal_core::par::run_cases(
+        contexts.len(),
+        ccal_core::par::default_workers(),
+        run_case,
+        |c| matches!(c, Case::Failed(_)),
+    );
+    let mut cases_checked = 0;
+    let mut cases_skipped = 0;
+    for slot in slots {
+        match slot {
+            None => break,
+            Some(Case::Checked) => cases_checked += 1,
+            Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Failed(e)) => return Err(*e),
+        }
     }
     Ok(Obligation {
         rule: Rule::Linearizability,

@@ -42,36 +42,59 @@ pub fn check_liveness(
     bound: u64,
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    let mut worst = 0_u64;
-    for (ci, env) in contexts.iter().enumerate() {
+    // Contexts are independent: explore them on the shared work queue and
+    // fold in context order, so the worst-case step count and the first
+    // failure match the serial exploration exactly.
+    #[allow(clippy::items_after_statements)]
+    enum Case {
+        Skipped,
+        Done(u64),
+        Failed(Box<LayerError>),
+    }
+    let run_case = |ci: usize| -> Case {
+        let env = &contexts[ci];
         let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
         match machine.call_prim(prim, args) {
             Ok(_) => {}
-            Err(e) if e.is_invalid_context() => {
-                cases_skipped += 1;
-                continue;
-            }
+            Err(e) if e.is_invalid_context() => return Case::Skipped,
             Err(ccal_core::machine::MachineError::OutOfFuel { .. }) => {
-                return Err(LayerError::Mismatch {
+                return Case::Failed(Box::new(LayerError::Mismatch {
                     expected: format!("`{prim}` to terminate (starvation-freedom)"),
                     found: "run exhausted its fuel (starvation)".to_owned(),
                     context: format!("liveness, context #{ci}"),
-                });
+                }));
             }
-            Err(e) => return Err(LayerError::Machine(e)),
+            Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
         }
         let steps = machine.log.iter().filter(|e| e.is_sched()).count() as u64;
-        worst = worst.max(steps);
         if steps > bound {
-            return Err(LayerError::Mismatch {
+            return Case::Failed(Box::new(LayerError::Mismatch {
                 expected: format!("completion within {bound} scheduling steps"),
                 found: format!("{steps} steps"),
                 context: format!("liveness of `{prim}`, context #{ci}"),
-            });
+            }));
         }
-        cases_checked += 1;
+        Case::Done(steps)
+    };
+    let slots = ccal_core::par::run_cases(
+        contexts.len(),
+        ccal_core::par::default_workers(),
+        run_case,
+        |c| matches!(c, Case::Failed(_)),
+    );
+    let mut cases_checked = 0;
+    let mut cases_skipped = 0;
+    let mut worst = 0_u64;
+    for slot in slots {
+        match slot {
+            None => break,
+            Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Done(steps)) => {
+                worst = worst.max(steps);
+                cases_checked += 1;
+            }
+            Some(Case::Failed(e)) => return Err(*e),
+        }
     }
     Ok(Obligation {
         rule: Rule::Liveness,

@@ -36,30 +36,49 @@ pub fn check_race_freedom(
     contexts: &[EnvContext],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    for (ci, env) in contexts.iter().enumerate() {
+    // Interleavings are independent: explore on the shared work queue,
+    // fold in context order for a deterministic first counterexample.
+    #[allow(clippy::items_after_statements)]
+    enum Case {
+        Checked,
+        Skipped,
+        Failed(Box<LayerError>),
+    }
+    let run_case = |ci: usize| -> Case {
+        let env = &contexts[ci];
         let machine =
             ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
         match machine.run(programs) {
-            Ok(_) => cases_checked += 1,
-            Err(e) if e.is_invalid_context() => cases_skipped += 1,
-            Err(MachineError::OutOfFuel { .. }) => cases_skipped += 1,
-            Err(MachineError::Stuck(msg)) => {
-                return Err(LayerError::Mismatch {
-                    expected: "a race-free run".to_owned(),
-                    found: format!("stuck: {msg}"),
-                    context: format!("race freedom, context #{ci}"),
-                });
-            }
-            Err(MachineError::Replay(e)) => {
-                return Err(LayerError::Mismatch {
-                    expected: "a race-free run".to_owned(),
-                    found: format!("replay stuck: {e}"),
-                    context: format!("race freedom, context #{ci}"),
-                });
-            }
-            Err(e) => return Err(LayerError::Machine(e)),
+            Ok(_) => Case::Checked,
+            Err(e) if e.is_invalid_context() => Case::Skipped,
+            Err(MachineError::OutOfFuel { .. }) => Case::Skipped,
+            Err(MachineError::Stuck(msg)) => Case::Failed(Box::new(LayerError::Mismatch {
+                expected: "a race-free run".to_owned(),
+                found: format!("stuck: {msg}"),
+                context: format!("race freedom, context #{ci}"),
+            })),
+            Err(MachineError::Replay(e)) => Case::Failed(Box::new(LayerError::Mismatch {
+                expected: "a race-free run".to_owned(),
+                found: format!("replay stuck: {e}"),
+                context: format!("race freedom, context #{ci}"),
+            })),
+            Err(e) => Case::Failed(Box::new(LayerError::Machine(e))),
+        }
+    };
+    let slots = ccal_core::par::run_cases(
+        contexts.len(),
+        ccal_core::par::default_workers(),
+        run_case,
+        |c| matches!(c, Case::Failed(_)),
+    );
+    let mut cases_checked = 0;
+    let mut cases_skipped = 0;
+    for slot in slots {
+        match slot {
+            None => break,
+            Some(Case::Checked) => cases_checked += 1,
+            Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Failed(e)) => return Err(*e),
         }
     }
     Ok(Obligation {
@@ -79,18 +98,23 @@ pub fn count_racy_interleavings(
     contexts: &[EnvContext],
     fuel: u64,
 ) -> usize {
-    contexts
-        .iter()
-        .filter(|env| {
+    ccal_core::par::run_cases(
+        contexts.len(),
+        ccal_core::par::default_workers(),
+        |ci| {
             let machine =
-                ConcurrentMachine::new(iface.clone(), focused.clone(), (*env).clone())
+                ConcurrentMachine::new(iface.clone(), focused.clone(), contexts[ci].clone())
                     .with_fuel(fuel);
             matches!(
                 machine.run(programs),
                 Err(MachineError::Stuck(_)) | Err(MachineError::Replay(_))
             )
-        })
-        .count()
+        },
+        |_| false,
+    )
+    .into_iter()
+    .filter(|racy| *racy == Some(true))
+    .count()
 }
 
 #[cfg(test)]

@@ -39,59 +39,78 @@ pub fn check_sequence_refinement(
     scripts: &[OpScript],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
+    // The (context × script) grid is explored on the shared work queue and
+    // folded in case order — same counts and first failure as serially.
+    #[allow(clippy::items_after_statements)]
+    enum Case {
+        Checked,
+        Skipped,
+        Failed(Box<LayerError>),
+    }
+    let nscripts = scripts.len();
+    let run_case = |idx: usize| -> Case {
+        let (ci, si) = (idx / nscripts, idx % nscripts);
+        let env = &contexts[ci];
+        let script = &scripts[si];
+        let mut impl_machine =
+            LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let mut impl_rets = Vec::with_capacity(script.len());
+        for (name, args) in script {
+            match impl_machine.call_prim(name, args) {
+                Ok(v) => impl_rets.push(v),
+                Err(e) if e.is_invalid_context() => return Case::Skipped,
+                Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+            }
+        }
+        let Some(expected) = relation.abstracted(&impl_machine.log) else {
+            return Case::Failed(Box::new(LayerError::Mismatch {
+                expected: format!("log in domain of {}", relation.name()),
+                found: impl_machine.log.to_string(),
+                context: format!("sequence refinement, context #{ci}, script #{si}"),
+            }));
+        };
+        let mut spec_machine =
+            LayerMachine::new(spec_iface.clone(), pid, replay_env(&expected, pid)).with_fuel(fuel);
+        let mut spec_rets = Vec::with_capacity(script.len());
+        for (name, args) in script {
+            match spec_machine.call_prim(name, args) {
+                Ok(v) => spec_rets.push(v),
+                Err(e) if e.is_invalid_context() => return Case::Skipped,
+                Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+            }
+        }
+        if impl_rets != spec_rets {
+            return Case::Failed(Box::new(LayerError::Mismatch {
+                expected: format!("{spec_rets:?} (spec)"),
+                found: format!("{impl_rets:?} (impl)"),
+                context: format!("sequence refinement rets, context #{ci}, script #{si}"),
+            }));
+        }
+        // `expected` already is the abstraction of the impl log, so
+        // R(impl, spec) reduces to one comparison (no re-abstraction).
+        if expected != spec_machine.log.without_sched() {
+            return Case::Failed(Box::new(LayerError::Mismatch {
+                expected: spec_machine.log.to_string(),
+                found: impl_machine.log.to_string(),
+                context: format!("sequence refinement logs, context #{ci}, script #{si}"),
+            }));
+        }
+        Case::Checked
+    };
+    let slots = ccal_core::par::run_cases(
+        contexts.len() * nscripts,
+        ccal_core::par::default_workers(),
+        run_case,
+        |c| matches!(c, Case::Failed(_)),
+    );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
-    for (ci, env) in contexts.iter().enumerate() {
-        'script: for (si, script) in scripts.iter().enumerate() {
-            let mut impl_machine =
-                LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
-            let mut impl_rets = Vec::with_capacity(script.len());
-            for (name, args) in script {
-                match impl_machine.call_prim(name, args) {
-                    Ok(v) => impl_rets.push(v),
-                    Err(e) if e.is_invalid_context() => {
-                        cases_skipped += 1;
-                        continue 'script;
-                    }
-                    Err(e) => return Err(LayerError::Machine(e)),
-                }
-            }
-            let expected = relation.abstracted(&impl_machine.log).ok_or_else(|| {
-                LayerError::Mismatch {
-                    expected: format!("log in domain of {}", relation.name()),
-                    found: impl_machine.log.to_string(),
-                    context: format!("sequence refinement, context #{ci}, script #{si}"),
-                }
-            })?;
-            let mut spec_machine =
-                LayerMachine::new(spec_iface.clone(), pid, replay_env(&expected, pid))
-                    .with_fuel(fuel);
-            let mut spec_rets = Vec::with_capacity(script.len());
-            for (name, args) in script {
-                match spec_machine.call_prim(name, args) {
-                    Ok(v) => spec_rets.push(v),
-                    Err(e) if e.is_invalid_context() => {
-                        cases_skipped += 1;
-                        continue 'script;
-                    }
-                    Err(e) => return Err(LayerError::Machine(e)),
-                }
-            }
-            if impl_rets != spec_rets {
-                return Err(LayerError::Mismatch {
-                    expected: format!("{spec_rets:?} (spec)"),
-                    found: format!("{impl_rets:?} (impl)"),
-                    context: format!("sequence refinement rets, context #{ci}, script #{si}"),
-                });
-            }
-            if !relation.holds(&impl_machine.log, &spec_machine.log) {
-                return Err(LayerError::Mismatch {
-                    expected: spec_machine.log.to_string(),
-                    found: impl_machine.log.to_string(),
-                    context: format!("sequence refinement logs, context #{ci}, script #{si}"),
-                });
-            }
-            cases_checked += 1;
+    for slot in slots {
+        match slot {
+            None => break,
+            Some(Case::Checked) => cases_checked += 1,
+            Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Failed(e)) => return Err(*e),
         }
     }
     Ok(Obligation {

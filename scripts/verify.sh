@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline verification: tier-1 (release build + root-package tests), the
+# parallel-vs-serial differential suite, the full workspace tests, and a
+# criterion-free benchmark smoke run. Everything here works without
+# network access — proptest/criterion resolve to the in-repo shim crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: root-package tests =="
+cargo test -q
+
+echo "== differential: parallel + dedup engine vs serial =="
+cargo test -q --test parallel_differential
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== bench smoke (no criterion): composition_scaling --quick =="
+cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
+
+echo "verify: all green"
