@@ -1,4 +1,4 @@
-//! Experiment B2: ticket vs. MCS lock under contention on the simulated
+//! Experiment B3: ticket vs. MCS lock under contention on the simulated
 //! multicore machine (the comparison behind the companion evaluations of
 //! Gu et al. [16] and Kim et al. [24]).
 //!
@@ -79,7 +79,7 @@ fn bench_contention(c: &mut Criterion) {
     }
     group.finish();
 
-    println!("\nB2 summary — shared probe events per acquisition (lower = less interconnect traffic):");
+    println!("\nB3 summary — shared probe events per acquisition (lower = less interconnect traffic):");
     println!("{:>6} {:>14} {:>14}", "cpus", "ticket", "mcs");
     for ncpus in [1_u32, 2, 4] {
         let t = contended_run(&ticket, ncpus, rounds);

@@ -13,7 +13,7 @@
 //! * [`scaling`] — the compositionality study (B1): schedule-space sizes
 //!   for compositional vs. monolithic verification;
 //! * the Criterion benches under `benches/` drive these and the lock
-//!   contention comparison (B2) and memory-algebra composition (F12).
+//!   contention comparison (B3) and memory-algebra composition (F12).
 
 #![warn(missing_docs)]
 

@@ -156,9 +156,183 @@ pub fn render_scaling(lens: &[usize]) -> String {
     out
 }
 
+/// One row of the partial-order-reduction study (experiment B2): the same
+/// certification run over the full schedule grid and over the sleep-set
+/// reduced grid, on serial and parallel engines.
+#[derive(Debug, Clone)]
+pub struct PorRow {
+    /// Schedule prefix length.
+    pub schedule_len: usize,
+    /// Full grid size (`|domain|^len` contexts).
+    pub grid: usize,
+    /// Cases actually executed with POR on (canonical representatives).
+    pub explored: usize,
+    /// Cases skipped as invalid contexts with POR on.
+    pub skipped: usize,
+    /// Cases skipped as trace-equivalent with POR on.
+    pub reduced: usize,
+    /// Serial wall time, POR off.
+    pub serial_full: Duration,
+    /// Serial wall time, POR on.
+    pub serial_por: Duration,
+    /// Parallel wall time, POR off.
+    pub parallel_full: Duration,
+    /// Parallel wall time, POR on.
+    pub parallel_por: Duration,
+    /// Worker threads used for the parallel runs.
+    pub workers: usize,
+}
+
+impl PorRow {
+    /// Grid-shrink factor: all grid cases over the cases POR left to run.
+    pub fn shrink(&self) -> f64 {
+        let run = (self.explored + self.skipped).max(1);
+        (self.explored + self.skipped + self.reduced) as f64 / run as f64
+    }
+}
+
+/// One timed ticket-lock certification on the B2 configuration: the
+/// focused participant runs `acq`/`rel` on the kernel stack's ticket lock
+/// while a ticket contender and two scratch threads (touching disjoint
+/// locations) fill out a four-pid scheduler domain. The contender and the
+/// scratch threads declare disjoint footprints, so the sleep-set reduction
+/// collapses their interleavings; the focused pid stays opaque.
+fn certify_por(
+    schedule_len: usize,
+    workers: usize,
+    por: bool,
+) -> (usize, usize, usize, usize, Duration) {
+    use ccal_core::strategy::ScratchPlayer;
+    let b = Loc(0);
+    let m1 = m1_module().expect("M1 parses");
+    let gen = ContextGen::new(vec![Pid(0), Pid(1), Pid(2), Pid(3)])
+        .with_player(Pid(1), Arc::new(TicketEnvPlayer::new(Pid(1), b, 1)))
+        .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), Loc(100))))
+        .with_player(Pid(3), Arc::new(ScratchPlayer::new(Pid(3), Loc(101))))
+        .with_schedule_len(schedule_len)
+        // The reduction only marks full (unsampled) grids, so give the
+        // generator room for the whole `4^len` space.
+        .with_max_contexts(4_usize.pow(schedule_len as u32))
+        .with_por(por);
+    let contexts = gen.contexts();
+    let grid = contexts.len();
+    let start = Instant::now();
+    let opts = CheckOptions::new(contexts)
+        .with_workload("acq", vec![vec![ccal_core::val::Val::Loc(b)]])
+        .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]])
+        .with_workers(workers)
+        .with_por(por);
+    let layer = check_fun(
+        &l0_interface(),
+        &m1,
+        &lock_low_interface(),
+        &SimRelation::identity(),
+        Pid(0),
+        &opts,
+    )
+    .expect("B2 certification succeeds");
+    let elapsed = start.elapsed();
+    (
+        grid,
+        layer.certificate.total_cases(),
+        layer.certificate.total_skipped(),
+        layer.certificate.total_reduced(),
+        elapsed,
+    )
+}
+
+/// Runs the B2 comparison at one schedule length with the default worker
+/// count.
+///
+/// # Panics
+///
+/// Panics if certification fails or the POR run diverges from the full
+/// grid in explored-case accounting.
+pub fn por_row(schedule_len: usize) -> PorRow {
+    por_row_tuned(schedule_len, ccal_core::par::default_workers())
+}
+
+/// [`por_row`] with an explicit worker count for the parallel runs.
+///
+/// # Panics
+///
+/// As [`por_row`].
+pub fn por_row_tuned(schedule_len: usize, workers: usize) -> PorRow {
+    let (grid, explored, skipped, reduced, serial_por) = certify_por(schedule_len, 1, true);
+    let (grid_f, full_cases, full_skipped, zero, serial_full) =
+        certify_por(schedule_len, 1, false);
+    assert_eq!(grid, grid_f, "grid size must not depend on POR");
+    assert_eq!(zero, 0, "POR off must reduce nothing");
+    assert_eq!(
+        explored + skipped + reduced,
+        full_cases + full_skipped,
+        "canonical + skipped + reduced must account for every full-grid case"
+    );
+    let (_, _, _, _, parallel_por) = certify_por(schedule_len, workers, true);
+    let (_, _, _, _, parallel_full) = certify_por(schedule_len, workers, false);
+    PorRow {
+        schedule_len,
+        grid,
+        explored,
+        skipped,
+        reduced,
+        serial_full,
+        serial_por,
+        parallel_full,
+        parallel_por,
+        workers,
+    }
+}
+
+/// Renders the B2 table for a family of schedule lengths.
+pub fn render_por(lens: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let workers = ccal_core::par::default_workers();
+    let _ = writeln!(
+        out,
+        "B2 — sleep-set partial-order reduction on the ticket-lock grid \
+         (4-pid domain, {workers} workers)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>8} {:>9} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "len", "grid", "explored", "reduced", "shrink", "ser/full", "ser/por", "par/full", "par/por"
+    );
+    for &len in lens {
+        let row = por_row(len);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>8} {:>9} {:>8} {:>6.2}x {:>12?} {:>12?} {:>12?} {:>12?}",
+            row.schedule_len,
+            row.grid,
+            row.explored,
+            row.reduced,
+            row.shrink(),
+            row.serial_full,
+            row.serial_por,
+            row.parallel_full,
+            row.parallel_por,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn por_shrinks_the_kernel_stack_grid_at_least_twofold() {
+        let row = por_row_tuned(5, 2);
+        assert_eq!(row.grid, 4_usize.pow(5));
+        assert!(row.reduced > 0, "independent players must license pruning");
+        assert!(
+            row.shrink() >= 2.0,
+            "B2 acceptance: ≥2× shrink, got {:.2}x",
+            row.shrink()
+        );
+    }
 
     #[test]
     fn compositional_space_is_exponentially_smaller() {

@@ -137,6 +137,7 @@ pub fn simulate_threaded_linking(
             ),
             cases_checked: loads_checked,
             cases_skipped: 0,
+            cases_reduced: 0,
         },
     })
 }

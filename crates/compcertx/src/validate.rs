@@ -196,6 +196,7 @@ pub fn compile_and_validate(
             description: format!("CompCertX(`{}`) ≤_id ⟦{0}⟧_C over {}", func.name, underlay.name),
             cases_checked,
             cases_skipped,
+            cases_reduced: 0,
         });
     }
     Ok(CompiledModule {

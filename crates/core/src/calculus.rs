@@ -102,15 +102,22 @@ pub struct Obligation {
     pub cases_checked: usize,
     /// Number of cases skipped as invalid contexts.
     pub cases_skipped: usize,
+    /// Number of cases pruned by the partial-order reduction (see
+    /// [`crate::por`]): trace-equivalent to a checked case.
+    pub cases_reduced: usize,
 }
 
 impl fmt::Display for Obligation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{}] {} ({} cases, {} skipped)",
+            "[{}] {} ({} cases, {} skipped",
             self.rule, self.description, self.cases_checked, self.cases_skipped
-        )
+        )?;
+        if self.cases_reduced > 0 {
+            write!(f, ", {} reduced", self.cases_reduced)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -143,6 +150,18 @@ impl Certificate {
     /// Total number of executed cases across all obligations.
     pub fn total_cases(&self) -> usize {
         self.obligations.iter().map(|o| o.cases_checked).sum()
+    }
+
+    /// Total number of cases the partial-order reduction skipped as
+    /// trace-equivalent across all obligations.
+    pub fn total_reduced(&self) -> usize {
+        self.obligations.iter().map(|o| o.cases_reduced).sum()
+    }
+
+    /// Total number of cases skipped as invalid contexts across all
+    /// obligations.
+    pub fn total_skipped(&self) -> usize {
+        self.obligations.iter().map(|o| o.cases_skipped).sum()
     }
 
     /// Merges another certificate into this one.
@@ -321,6 +340,14 @@ impl CheckOptions {
         self
     }
 
+    /// Enables or disables the partial-order reduction (skipping contexts
+    /// marked trace-equivalent by [`crate::contexts::ContextGen`]).
+    #[must_use]
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.sim.por = por;
+        self
+    }
+
     fn sim_for(&self, prim: &str) -> SimOptions {
         let mut sim = self.sim.clone();
         if let Some(setup) = self.setups.get(prim) {
@@ -345,6 +372,7 @@ pub fn empty(iface: &LayerInterface, focused: PidSet) -> CertifiedLayer {
         description: format!("{0}[{1}] ⊢_id ∅ : {0}[{1}]", iface.name, focused),
         cases_checked: 0,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     CertifiedLayer {
         underlay: iface.clone(),
@@ -411,6 +439,7 @@ pub fn check_fun(
             ),
             cases_checked: evidence.cases_checked,
             cases_skipped: evidence.cases_skipped,
+            cases_reduced: evidence.cases_reduced,
         });
     }
     Ok(CertifiedLayer {
@@ -482,6 +511,7 @@ pub fn check_iface_refinement(
             ),
             cases_checked: evidence.cases_checked,
             cases_skipped: evidence.cases_skipped,
+            cases_reduced: evidence.cases_reduced,
         });
     }
     Ok(IfaceRefinement {
@@ -536,6 +566,7 @@ pub fn vcomp(a: &CertifiedLayer, b: &CertifiedLayer) -> Result<CertifiedLayer, L
         ),
         cases_checked: 0,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     Ok(CertifiedLayer {
         underlay: a.underlay.clone(),
@@ -583,6 +614,7 @@ pub fn hcomp(a: &CertifiedLayer, b: &CertifiedLayer) -> Result<CertifiedLayer, L
         description: format!("{} ⊢ {} : {}", a.underlay.name, module.name, overlay.name),
         cases_checked: 0,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     Ok(CertifiedLayer {
         underlay: a.underlay.clone(),
@@ -642,6 +674,7 @@ pub fn weaken(
         ),
         cases_checked: 0,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     Ok(out)
 }
@@ -716,6 +749,7 @@ pub fn pcomp(a: &CertifiedLayer, b: &CertifiedLayer) -> Result<CertifiedLayer, L
         ),
         cases_checked: compat_cases,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     let focused = a.focused.union(&b.focused);
     let underlay = a
@@ -737,6 +771,7 @@ pub fn pcomp(a: &CertifiedLayer, b: &CertifiedLayer) -> Result<CertifiedLayer, L
         ),
         cases_checked: 0,
         cases_skipped: 0,
+        cases_reduced: 0,
     });
     Ok(CertifiedLayer {
         underlay,

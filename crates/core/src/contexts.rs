@@ -6,11 +6,12 @@
 //! space is large), each combined with configurable environment-player
 //! strategies and completed by a fair round-robin scheduler.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::env::EnvContext;
 use crate::id::Pid;
+use crate::por::{self, PidIndependence};
 use crate::strategy::{ScriptScheduler, Strategy};
 
 /// A generator of environment contexts.
@@ -33,6 +34,7 @@ pub struct ContextGen {
     schedule_len: usize,
     max_contexts: usize,
     fuel: u64,
+    por: bool,
 }
 
 impl ContextGen {
@@ -51,6 +53,7 @@ impl ContextGen {
             schedule_len: 4,
             max_contexts: 256,
             fuel: EnvContext::DEFAULT_FUEL,
+            por: por::por_enabled(),
         }
     }
 
@@ -81,9 +84,22 @@ impl ContextGen {
         self
     }
 
-    /// Total number of schedule prefixes before capping.
+    /// Enables or disables partial-order-reduction marking (see
+    /// [`crate::por`]). Defaults to [`por::por_enabled`] — on unless the
+    /// process was started with `CCAL_POR=0`.
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.por = por;
+        self
+    }
+
+    /// Total number of schedule prefixes before capping, saturating at
+    /// `usize::MAX` when `|domain|^len` overflows (so huge configurations
+    /// sample rather than panic or wrap).
     pub fn space_size(&self) -> usize {
-        self.domain.len().pow(self.schedule_len as u32)
+        self.domain
+            .len()
+            .checked_pow(self.schedule_len.try_into().unwrap_or(u32::MAX))
+            .unwrap_or(usize::MAX)
     }
 
     fn prefix(&self, mut index: usize) -> Vec<Pid> {
@@ -105,17 +121,71 @@ impl ContextGen {
         env
     }
 
+    /// The independence relation over this generator's domain, derived from
+    /// the registered players' declared alphabets (pids without a player —
+    /// e.g. the focused pid — are opaque and dependent with everything).
+    pub fn independence(&self) -> PidIndependence {
+        PidIndependence::from_players(&self.domain, &self.players)
+    }
+
+    /// Grid indices marked redundant by the partial-order reduction: the
+    /// non-canonical members of each Mazurkiewicz trace class. Empty when
+    /// POR is disabled, when the independence relation is trivial, or when
+    /// the grid is sampled rather than fully enumerated (marking a sampled
+    /// grid could drop a trace whose canonical representative was never
+    /// sampled).
+    fn por_marked_indices(&self, total: usize, take: usize) -> BTreeSet<usize> {
+        if !self.por || take != total {
+            return BTreeSet::new();
+        }
+        let ind = self.independence();
+        if ind.is_trivial() {
+            return BTreeSet::new();
+        }
+        let canonical = por::canonical_index_set(&self.domain, self.schedule_len, &ind);
+        (0..total).filter(|i| !canonical.contains(i)).collect()
+    }
+
     /// Generates the context family: every schedule prefix of the
     /// configured length (sampled deterministically when larger than the
     /// cap), each completed by fair round-robin.
+    ///
+    /// When the grid is fully enumerated and the partial-order reduction is
+    /// on, contexts whose schedule prefix is trace-equivalent to a
+    /// lower-indexed one are included but marked
+    /// [`EnvContext::is_por_equivalent`] — checkers running with reduction
+    /// skip them, and the full grid stays available for differential runs.
+    ///
+    /// Sampling (when the space exceeds the cap) spreads indices evenly
+    /// across the whole range *and* varies the low digits: sample `k` takes
+    /// index `⌊k·total/take⌋ + (k mod ⌊total/take⌋)`, which is strictly
+    /// increasing and in range, and exercises both early and late schedule
+    /// slots (a plain stride with the least-significant-digit-first
+    /// encoding would hold the early slots constant).
     pub fn contexts(&self) -> Vec<EnvContext> {
         let total = self.space_size();
         let take = total.min(self.max_contexts);
-        let stride = total.div_ceil(take).max(1);
-        (0..total)
-            .step_by(stride)
-            .take(take)
-            .map(|i| self.make_context(self.prefix(i)))
+        let marked = self.por_marked_indices(total, take);
+        self.sample_indices(total, take)
+            .into_iter()
+            .map(|i| {
+                let env = self.make_context(self.prefix(i));
+                if marked.contains(&i) {
+                    env.mark_por_equivalent()
+                } else {
+                    env
+                }
+            })
+            .collect()
+    }
+
+    fn sample_indices(&self, total: usize, take: usize) -> Vec<usize> {
+        if take == total {
+            return (0..total).collect();
+        }
+        let bucket = (total / take).max(1);
+        (0..take)
+            .map(|k| (k as u128 * total as u128 / take as u128) as usize + (k % bucket))
             .collect()
     }
 
@@ -169,6 +239,79 @@ mod tests {
                 .unwrap();
             assert_eq!(got, Pid(1));
         }
+    }
+
+    #[test]
+    fn space_size_saturates_instead_of_overflowing() {
+        // Regression: `2usize.pow(64)` used to panic in debug builds and
+        // wrap to 0 in release, making `contexts()` divide by zero.
+        let gen = ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(64)
+            .with_max_contexts(8);
+        assert_eq!(gen.space_size(), usize::MAX);
+        assert_eq!(gen.contexts().len(), 8);
+    }
+
+    #[test]
+    fn sampling_covers_first_and_last_schedule_slots() {
+        // Regression: a plain index stride of `total/take` with the
+        // least-significant-digit-first prefix encoding held the early
+        // schedule slots constant (stride 256 ⇒ low 8 bits always zero)
+        // and a truncating `step_by` never reached the tail.
+        let gen = ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(16)
+            .with_max_contexts(256);
+        let total = gen.space_size();
+        let indices = gen.sample_indices(total, 256);
+        assert_eq!(indices.len(), 256);
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "sampled indices are distinct");
+        assert!(indices.iter().all(|&i| i < total));
+        for slot in [0, 15] {
+            let varied = indices
+                .iter()
+                .map(|&i| (i >> slot) & 1)
+                .collect::<std::collections::BTreeSet<_>>();
+            assert_eq!(varied.len(), 2, "schedule slot {slot} must vary");
+        }
+    }
+
+    #[test]
+    fn por_marks_only_non_canonical_contexts_on_full_grids() {
+        use crate::id::Loc;
+        use crate::strategy::ScratchPlayer;
+
+        // Pids 1 and 2 are scratch players on disjoint locations; pid 0 is
+        // opaque (focused). Classes collapse only across slots 1↔2.
+        let gen = ContextGen::new(vec![Pid(0), Pid(1), Pid(2)])
+            .with_schedule_len(3)
+            .with_player(Pid(1), Arc::new(ScratchPlayer::new(Pid(1), Loc(50))))
+            .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), Loc(51))))
+            .with_por(true);
+        let ctxs = gen.contexts();
+        assert_eq!(ctxs.len(), 27, "the full grid is still generated");
+        let marked = ctxs.iter().filter(|c| c.is_por_equivalent()).count();
+        let expected_canonical =
+            por::canonical_index_set(&gen.domain, 3, &gen.independence()).len();
+        assert!(marked > 0, "independent players must yield pruning");
+        assert_eq!(27 - marked, expected_canonical);
+
+        // POR off, or a sampled grid, never marks.
+        assert!(
+            !gen.clone()
+                .with_por(false)
+                .contexts()
+                .iter()
+                .any(|c| c.is_por_equivalent())
+        );
+        assert!(
+            !gen.with_max_contexts(10)
+                .contexts()
+                .iter()
+                .any(|c| c.is_por_equivalent())
+        );
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct EnvContext {
     /// Fuel bound on a single query process; encodes the fairness bound
     /// `m` of the rely conditions (§4.1).
     fuel: u64,
+    /// Whether this context is Mazurkiewicz-trace equivalent to another
+    /// context with a smaller grid index (see [`crate::por`]); checkers
+    /// running with partial-order reduction enabled skip it.
+    por_equivalent: bool,
 }
 
 impl EnvContext {
@@ -90,6 +94,7 @@ impl EnvContext {
             scheduler,
             players: Arc::new(BTreeMap::new()),
             fuel: Self::DEFAULT_FUEL,
+            por_equivalent: false,
         }
     }
 
@@ -103,6 +108,21 @@ impl EnvContext {
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// Marks this context as trace-equivalent to a lower-indexed context of
+    /// the same grid (set by [`crate::contexts::ContextGen`] when the
+    /// partial-order reduction proves the equivalence).
+    pub fn mark_por_equivalent(mut self) -> Self {
+        self.por_equivalent = true;
+        self
+    }
+
+    /// Whether a lower-indexed trace-equivalent context exists, so a
+    /// checker with [`crate::por::por_enabled`] reduction may skip this one
+    /// without changing its verdict.
+    pub fn is_por_equivalent(&self) -> bool {
+        self.por_equivalent
     }
 
     /// The scheduler strategy `φ₀`.

@@ -88,11 +88,106 @@ pub enum EventKind {
     Prim(String, Vec<Val>),
 }
 
+/// One shared resource an event may touch. Used by the independence
+/// relation of the partial-order reduction ([`crate::por`]): two events
+/// can only commute when their footprints are disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Footprint {
+    /// A shared memory location.
+    Loc(Loc),
+    /// A shared queue / channel.
+    Queue(QId),
+    /// Everything — the event's effect cannot be localized (scheduling
+    /// transitions, generic [`EventKind::Prim`] calls, `yield`). A global
+    /// footprint conflicts with every footprint, including another global
+    /// one.
+    Global,
+}
+
+impl Footprint {
+    /// Whether two footprints touch a common resource. [`Footprint::Global`]
+    /// overlaps everything.
+    pub fn overlaps(&self, other: &Footprint) -> bool {
+        matches!(self, Footprint::Global) || matches!(other, Footprint::Global) || self == other
+    }
+}
+
 impl EventKind {
     /// Whether this kind is a scheduling transition.
     pub fn is_sched(&self) -> bool {
         matches!(self, EventKind::HwSched(_))
     }
+
+    /// The shared resources this event touches. Conservative: anything
+    /// whose effect cannot be pinned to a location or queue reports
+    /// [`Footprint::Global`].
+    pub fn footprints(&self) -> Vec<Footprint> {
+        use EventKind::*;
+        match self {
+            Pull(b) | Push(b, _) | FaiT(b) | GetN(b) | IncN(b) | Hold(b) | Acq(b) | Rel(b)
+            | McsSwap(b) | McsCasTail(b) | McsSetNext(b, _) | McsGetLocked(b) | McsGrant(b, _)
+            | AcqQ(b) | RelQ(b) => vec![Footprint::Loc(*b)],
+            EnQ(q, _) | DeQ(q) | Wakeup(q) | CvWait(q) | CvSignal(q) | CvBroadcast(q)
+            | IpcSend(q, _) | IpcRecv(q) => vec![Footprint::Queue(*q)],
+            Sleep(q, lk) => vec![Footprint::Queue(*q), Footprint::Loc(*lk)],
+            HwSched(_) | Yield | Prim(..) => vec![Footprint::Global],
+        }
+    }
+
+    /// Whether the event participates in a lock acquisition/hand-off
+    /// protocol. The simulation relations of the toolkit preserve "the
+    /// order of lock acquiring" (§2), so lock-ordered events are never
+    /// treated as commuting with each other, even across different locks.
+    pub fn is_lock_ordered(&self) -> bool {
+        use EventKind::*;
+        matches!(
+            self,
+            FaiT(_)
+                | GetN(_)
+                | IncN(_)
+                | Hold(_)
+                | Acq(_)
+                | Rel(_)
+                | McsSwap(_)
+                | McsCasTail(_)
+                | McsSetNext(..)
+                | McsGetLocked(_)
+                | McsGrant(..)
+                | AcqQ(_)
+                | RelQ(_)
+                | Yield
+                | Sleep(..)
+                | Wakeup(_)
+                | CvWait(_)
+                | CvSignal(_)
+                | CvBroadcast(_)
+        )
+    }
+
+    /// Kind-level independence, ignoring authorship: neither kind is a
+    /// scheduling transition, the two are not both lock-ordered, and their
+    /// footprints are disjoint. [`independent`] adds the distinct-author
+    /// requirement.
+    pub fn independent_kinds(a: &EventKind, b: &EventKind) -> bool {
+        if a.is_sched() || b.is_sched() {
+            return false;
+        }
+        if a.is_lock_ordered() && b.is_lock_ordered() {
+            return false;
+        }
+        let fa = a.footprints();
+        b.footprints().iter().all(|fb| fa.iter().all(|x| !x.overlaps(fb)))
+    }
+}
+
+/// The independence relation over events (the Mazurkiewicz trace alphabet
+/// used by [`crate::por`]): two events commute when they have different
+/// authors, neither is a scheduling transition, they are not both
+/// lock-ordered, and they touch disjoint shared resources. Adjacent
+/// independent events can be swapped in a log without changing any replayed
+/// shared state or any footprint-local strategy's behavior.
+pub fn independent(a: &Event, b: &Event) -> bool {
+    a.pid != b.pid && EventKind::independent_kinds(&a.kind, &b.kind)
 }
 
 /// An observable event: an [`EventKind`] tagged with the participant that
@@ -189,6 +284,45 @@ mod tests {
         assert_eq!(e.to_string(), "p1.foo()");
         let e = Event::new(Pid(1), EventKind::FaiT(Loc(0)));
         assert_eq!(e.to_string(), "p1.FAI_t(b0)");
+    }
+
+    #[test]
+    fn independence_requires_disjoint_footprints_and_distinct_pids() {
+        let pull0 = Event::new(Pid(1), EventKind::Pull(Loc(0)));
+        let pull1 = Event::new(Pid(2), EventKind::Pull(Loc(1)));
+        assert!(independent(&pull0, &pull1), "disjoint locations commute");
+        let push0 = Event::new(Pid(2), EventKind::Push(Loc(0), Val::Int(1)));
+        assert!(!independent(&pull0, &push0), "same location conflicts");
+        let same_pid = Event::new(Pid(1), EventKind::Pull(Loc(1)));
+        assert!(!independent(&pull0, &same_pid), "same author never commutes");
+    }
+
+    #[test]
+    fn lock_ordered_events_never_commute_with_each_other() {
+        let a = Event::new(Pid(1), EventKind::Acq(Loc(0)));
+        let b = Event::new(Pid(2), EventKind::FaiT(Loc(7)));
+        // Different locks, but both participate in lock ordering.
+        assert!(!independent(&a, &b));
+        // A lock event does commute with a non-lock event elsewhere.
+        let q = Event::new(Pid(2), EventKind::EnQ(crate::id::QId(3), Val::Int(5)));
+        assert!(independent(&a, &q));
+    }
+
+    #[test]
+    fn sched_prim_and_yield_conflict_with_everything() {
+        let sched = Event::sched(Pid(1));
+        let prim = Event::prim(Pid(2), "f", vec![]);
+        let pull = Event::new(Pid(3), EventKind::Pull(Loc(9)));
+        assert!(!independent(&sched, &pull));
+        assert!(!independent(&prim, &pull));
+        assert!(Footprint::Global.overlaps(&Footprint::Global));
+    }
+
+    #[test]
+    fn sleep_touches_both_queue_and_lock() {
+        let fs = EventKind::Sleep(QId(1), Loc(2)).footprints();
+        assert!(fs.contains(&Footprint::Loc(Loc(2))));
+        assert!(fs.contains(&Footprint::Queue(QId(1))));
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod log;
 pub mod machine;
 pub mod module;
 pub mod par;
+pub mod por;
 pub mod refine;
 pub mod rely;
 pub mod replay;
@@ -105,6 +106,7 @@ pub mod prelude {
     pub use crate::log::Log;
     pub use crate::machine::{LayerMachine, MachineError};
     pub use crate::module::{Lang, Module, ModuleFn};
+    pub use crate::por::{por_enabled, PidIndependence};
     pub use crate::refine::{behaviors, check_contextual_refinement, ClientProgram};
     pub use crate::rely::{Conditions, Invariant, ProbeSuite, RelyGuarantee};
     pub use crate::replay::{
@@ -115,8 +117,8 @@ pub mod prelude {
         check_prim_refinement, replay_env, replay_env_set, SimFailure, SimOptions, SimRelation,
     };
     pub use crate::strategy::{
-        is_fair_schedule, FnStrategy, IdleStrategy, RoundRobinScheduler, ScriptPlayer,
-        ScriptScheduler, Strategy, StrategyMove,
+        is_fair_schedule, FnStrategy, IdleStrategy, RoundRobinScheduler, ScratchPlayer,
+        ScriptPlayer, ScriptScheduler, Strategy, StrategyMove,
     };
     pub use crate::val::Val;
 }

@@ -24,18 +24,48 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The default worker count: the `CCAL_WORKERS` environment variable if
-/// set to a positive integer, otherwise the machine's available
-/// parallelism (1 if unknown).
+/// The default worker count, controlled by the `CCAL_WORKERS` environment
+/// variable:
+///
+/// * unset — the machine's available parallelism (1 if unknown);
+/// * a positive integer `n` — exactly `n` workers;
+/// * `0` — explicitly serial (one worker on the calling thread), the knob
+///   for bit-for-bit reference runs and debugging;
+/// * anything else — a warning is printed to stderr once per process and
+///   the variable is ignored (available parallelism is used).
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("CCAL_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("CCAL_WORKERS") {
+        Ok(v) => parse_workers(&v).unwrap_or_else(|| {
+            warn_bad_workers_once(&v);
+            fallback()
+        }),
+        Err(_) => fallback(),
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+}
+
+/// Parses a `CCAL_WORKERS` value: `Some(1)` for `0` (serial), `Some(n)`
+/// for a positive integer, `None` for anything unparseable.
+fn parse_workers(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Some(1),
+        Ok(n) => Some(n),
+        Err(_) => None,
+    }
+}
+
+fn warn_bad_workers_once(raw: &str) {
+    static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "ccal: ignoring unparseable CCAL_WORKERS={raw:?} (expected a \
+             non-negative integer; 0 means serial)"
+        );
+    });
 }
 
 /// Runs `run(0..total)` across `workers` threads, short-circuiting past
@@ -144,5 +174,21 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn zero_workers_means_serial() {
+        assert_eq!(parse_workers("0"), Some(1));
+        assert_eq!(parse_workers(" 0 "), Some(1));
+    }
+
+    #[test]
+    fn positive_workers_parse_and_garbage_is_rejected() {
+        assert_eq!(parse_workers("7"), Some(7));
+        assert_eq!(parse_workers(" 12\n"), Some(12));
+        assert_eq!(parse_workers("many"), None);
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("1.5"), None);
+        assert_eq!(parse_workers(""), None);
     }
 }

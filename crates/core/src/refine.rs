@@ -137,6 +137,7 @@ pub fn check_contextual_refinement(
         ),
         cases_checked,
         cases_skipped,
+        cases_reduced: 0,
     })
 }
 

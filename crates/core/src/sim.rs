@@ -304,6 +304,10 @@ pub struct SimEvidence {
     /// Number of cases skipped because the environment context violated
     /// the rely condition (invalid contexts).
     pub cases_skipped: usize,
+    /// Number of cases skipped by the partial-order reduction: their
+    /// context is trace-equivalent to a lower-indexed one that was
+    /// checked (see [`crate::por`]).
+    pub cases_reduced: usize,
     /// Logs reached during the check, reusable as probes for `Compat`
     /// side conditions.
     pub probes: ProbeSuite,
@@ -332,6 +336,22 @@ pub struct SimOptions {
     /// whose logs abstract to the same upper environment — are explored
     /// once. Never changes the verdict or the evidence; on by default.
     pub dedup: bool,
+    /// Skip contexts marked [`EnvContext::is_por_equivalent`] by the
+    /// partial-order reduction — trace-equivalent to a lower-indexed
+    /// context whose verdict subsumes theirs. Defaults to
+    /// [`crate::por::por_enabled`] (on unless `CCAL_POR=0`).
+    pub por: bool,
+    /// Capacity cap on the upper-run memo table. When an insert would
+    /// exceed the cap the table is cleared (generation eviction), so the
+    /// memory footprint stays bounded on huge grids while verdicts and
+    /// evidence are unchanged — a miss merely re-runs the deterministic
+    /// upper machine.
+    pub upper_cache_cap: usize,
+}
+
+impl SimOptions {
+    /// Default capacity of the upper-run memo table.
+    pub const DEFAULT_UPPER_CACHE_CAP: usize = 4096;
 }
 
 impl Default for SimOptions {
@@ -342,6 +362,8 @@ impl Default for SimOptions {
             setup: Vec::new(),
             workers: crate::par::default_workers(),
             dedup: true,
+            por: crate::por::por_enabled(),
+            upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
         }
     }
 }
@@ -358,6 +380,20 @@ impl SimOptions {
     #[must_use]
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
+        self
+    }
+
+    /// Enables or disables the partial-order reduction.
+    #[must_use]
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.por = por;
+        self
+    }
+
+    /// Caps the upper-run memo table (minimum 1 entry).
+    #[must_use]
+    pub fn with_upper_cache_cap(mut self, cap: usize) -> Self {
+        self.upper_cache_cap = cap.max(1);
         self
     }
 }
@@ -399,6 +435,7 @@ pub fn check_prim_refinement(
     #[allow(clippy::items_after_statements)]
     enum CaseOutcome {
         Skipped,
+        Reduced,
         Checked { lower_log: Log, upper_log: Log },
         Failed(Box<SimFailure>),
     }
@@ -449,6 +486,10 @@ pub fn check_prim_refinement(
     let run_case = |idx: usize| -> CaseOutcome {
         let (ci, ai) = (idx / nargs, idx % nargs);
         let env = &contexts[ci];
+        if opts.por && env.is_por_equivalent() {
+            // A lower-indexed trace-equivalent context covers this case.
+            return CaseOutcome::Reduced;
+        }
         let args = &arg_vectors[ai];
         let case = format!("context #{ci}, args #{ai} {args:?}");
         // 1. Run the lower machine (setup calls first).
@@ -510,10 +551,16 @@ pub fn check_prim_refinement(
                 Some(r) => r,
                 None => {
                     let r = run_upper(&expected, args);
-                    upper_cache
+                    let mut cache = upper_cache
                         .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .insert(key, r.clone());
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // Generation eviction: clearing on a full table bounds
+                    // memory without affecting verdicts (misses re-run the
+                    // deterministic upper machine).
+                    if cache.len() >= opts.upper_cache_cap {
+                        cache.clear();
+                    }
+                    cache.insert(key, r.clone());
                     r
                 }
             }
@@ -563,6 +610,7 @@ pub fn check_prim_refinement(
         match slot {
             None => break,
             Some(CaseOutcome::Skipped) => evidence.cases_skipped += 1,
+            Some(CaseOutcome::Reduced) => evidence.cases_reduced += 1,
             Some(CaseOutcome::Checked {
                 lower_log,
                 upper_log,
@@ -703,6 +751,57 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.reason.contains("not related"));
+    }
+
+    #[test]
+    fn cache_eviction_does_not_change_verdicts() {
+        let lower = emit_iface("L-low", EventKind::Acq);
+        let upper = emit_iface("L-up", EventKind::Acq);
+        let contexts = crate::contexts::ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(3)
+            .contexts();
+        let args = vec![vec![Val::Loc(Loc(0))], vec![Val::Loc(Loc(1))]];
+        let run = |opts: SimOptions| {
+            check_prim_refinement(
+                &lower,
+                "op",
+                &upper,
+                "op",
+                &SimRelation::identity(),
+                Pid(1),
+                &contexts,
+                &args,
+                &opts.with_workers(1),
+            )
+        };
+        let base = run(SimOptions::default()).unwrap();
+        // Cap 1 forces an eviction on every insert after the first.
+        let capped = run(SimOptions::default().with_upper_cache_cap(1)).unwrap();
+        assert_eq!(base.cases_checked, capped.cases_checked);
+        assert_eq!(base.cases_skipped, capped.cases_skipped);
+        assert_eq!(base.cases_reduced, capped.cases_reduced);
+        assert_eq!(base.probes.len(), capped.probes.len());
+
+        // A failing pair reports the identical first counterexample.
+        let bad = emit_iface("L-bad", EventKind::Rel);
+        let fail = |opts: SimOptions| {
+            check_prim_refinement(
+                &lower,
+                "op",
+                &bad,
+                "op",
+                &SimRelation::identity(),
+                Pid(1),
+                &contexts,
+                &args,
+                &opts.with_workers(1),
+            )
+            .unwrap_err()
+        };
+        let f1 = fail(SimOptions::default());
+        let f2 = fail(SimOptions::default().with_upper_cache_cap(1));
+        assert_eq!(f1.case, f2.case);
+        assert_eq!(f1.reason, f2.reason);
     }
 
     #[test]

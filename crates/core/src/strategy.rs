@@ -58,6 +58,27 @@ pub trait Strategy: Send + Sync {
     fn name(&self) -> &str {
         "strategy"
     }
+
+    /// The strategy's *declared alphabet*: event kinds it may ever emit,
+    /// used by the partial-order reduction ([`crate::por`]) to decide
+    /// whether two environment players commute. `None` (the default) means
+    /// "unknown" — the player is conservatively treated as conflicting
+    /// with everything and the reduction never prunes around it.
+    ///
+    /// # Contract
+    ///
+    /// Every event the strategy can emit must match one of the returned
+    /// kinds up to payload *values* (same constructor, same
+    /// [`EventKind::footprints`], same [`EventKind::is_lock_ordered`]
+    /// class). Declaring too small an alphabet makes the reduction
+    /// unsound; declaring `None` or too large an alphabet only loses
+    /// pruning. Implementations must also be *footprint-local*: their
+    /// moves may depend only on their own events and on events touching
+    /// their declared footprints (all strategies in this workspace are —
+    /// they replay per-object shared state and count their own events).
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        None
+    }
 }
 
 impl fmt::Debug for dyn Strategy {
@@ -134,6 +155,11 @@ impl Strategy for IdleStrategy {
     fn name(&self) -> &str {
         "idle"
     }
+
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // The empty alphabet: vacuously independent of every other player.
+        Some(Vec::new())
+    }
 }
 
 /// A player that replays a fixed script of event batches: on its `k`-th
@@ -170,6 +196,59 @@ impl Strategy for ScriptPlayer {
 
     fn name(&self) -> &str {
         "script-player"
+    }
+
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // A scripted player's alphabet is exactly the kinds in its script.
+        Some(
+            self.script
+                .iter()
+                .flatten()
+                .map(|e| e.kind.clone())
+                .collect(),
+        )
+    }
+}
+
+/// An environment player that works on a *private* scratch location: on
+/// each scheduled turn it pulls the location and pushes an incremented
+/// counter back, forever. Its events are plain memory events on a single
+/// location (not lock-ordered), so two scratch players on distinct
+/// locations are fully independent — they exist to give the partial-order
+/// reduction something to prune, both in benchmarks and in tests.
+#[derive(Debug, Clone)]
+pub struct ScratchPlayer {
+    pid: Pid,
+    loc: crate::id::Loc,
+}
+
+impl ScratchPlayer {
+    /// Creates a scratch player for participant `pid` working on `loc`.
+    pub fn new(pid: Pid, loc: crate::id::Loc) -> Self {
+        Self { pid, loc }
+    }
+}
+
+impl Strategy for ScratchPlayer {
+    fn next_move(&self, log: &Log) -> StrategyMove {
+        // The turn index doubles as the counter value — a pure function of
+        // the log, as the strategy contract requires.
+        let k = log.count_by(self.pid) / 2;
+        StrategyMove::Emit(vec![
+            Event::new(self.pid, EventKind::Pull(self.loc)),
+            Event::new(self.pid, EventKind::Push(self.loc, Val::Int(k as i64))),
+        ])
+    }
+
+    fn name(&self) -> &str {
+        "scratch-player"
+    }
+
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![
+            EventKind::Pull(self.loc),
+            EventKind::Push(self.loc, Val::Int(0)),
+        ])
     }
 }
 

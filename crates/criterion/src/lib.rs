@@ -5,9 +5,11 @@
 //! implements the API subset the workspace's benches use — groups,
 //! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
 //! `criterion_group!`/`criterion_main!` — with a tiny wall-clock harness:
-//! warm up, run until a time budget is spent, report the mean.
+//! warm up, collect per-iteration samples until a time budget is spent,
+//! reject outliers by median absolute deviation, and report the median ± σ
+//! of the surviving samples.
 //!
-//! No statistics, plots, or history are produced. Pass `--quick` (or set
+//! No plots or history are produced. Pass `--quick` (or set
 //! `CCAL_BENCH_QUICK=1`) to shrink the time budget for smoke runs:
 //!
 //! ```text
@@ -83,10 +85,71 @@ impl Budget {
     }
 }
 
+/// A robust summary of one benchmark's per-iteration samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time over the samples that survived outlier
+    /// rejection.
+    pub median: Duration,
+    /// Standard deviation of the surviving samples.
+    pub sigma: Duration,
+    /// Samples collected (= iterations timed).
+    pub iters: u64,
+    /// Samples rejected as outliers (beyond 5 MADs from the median).
+    pub outliers: u64,
+}
+
+/// Summarizes raw per-iteration samples (in nanoseconds): sort, take the
+/// median, reject samples farther than 5 median-absolute-deviations from
+/// it, then report the median and standard deviation of the survivors.
+/// With `MAD = 0` (more than half the samples identical) nothing is
+/// rejected — a zero-width band would throw away legitimate samples.
+fn summarize(mut ns: Vec<u64>) -> Measurement {
+    assert!(!ns.is_empty(), "summarize needs at least one sample");
+    let total = ns.len() as u64;
+    ns.sort_unstable();
+    let median_of = |sorted: &[u64]| -> u64 {
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            u64::midpoint(sorted[mid - 1], sorted[mid])
+        } else {
+            sorted[mid]
+        }
+    };
+    let med = median_of(&ns);
+    let mut devs: Vec<u64> = ns.iter().map(|&x| x.abs_diff(med)).collect();
+    devs.sort_unstable();
+    let mad = median_of(&devs);
+    let kept: Vec<u64> = if mad == 0 {
+        ns
+    } else {
+        ns.into_iter()
+            .filter(|&x| x.abs_diff(med) <= mad.saturating_mul(5))
+            .collect()
+    };
+    let outliers = total - kept.len() as u64;
+    let median = median_of(&kept);
+    let mean = kept.iter().map(|&x| x as f64).sum::<f64>() / kept.len() as f64;
+    let var = kept
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / kept.len() as f64;
+    Measurement {
+        median: Duration::from_nanos(median),
+        sigma: Duration::from_nanos(var.sqrt() as u64),
+        iters: total,
+        outliers,
+    }
+}
+
 /// Measures one benchmark routine (mirror of `criterion::Bencher`).
 pub struct Bencher {
     budget: Budget,
-    result: Option<(Duration, u64)>,
+    result: Option<Measurement>,
 }
 
 impl Bencher {
@@ -114,24 +177,23 @@ impl Bencher {
         });
     }
 
-    /// Drives one timed iteration closure through warmup + measurement.
+    /// Drives one timed iteration closure through warmup + measurement,
+    /// collecting per-iteration samples for the robust summary.
     fn run<F: FnMut() -> Duration>(&mut self, mut one: F) {
+        const MAX_SAMPLES: usize = 100_000;
         let warm_start = Instant::now();
         while warm_start.elapsed() < self.budget.warmup {
             one();
         }
-        let mut total = Duration::ZERO;
-        let mut iters: u64 = 0;
+        let mut samples: Vec<u64> = Vec::new();
         let measure_start = Instant::now();
-        while measure_start.elapsed() < self.budget.measure && iters < 10_000_000 {
-            total += one();
-            iters += 1;
+        while measure_start.elapsed() < self.budget.measure && samples.len() < MAX_SAMPLES {
+            samples.push(u64::try_from(one().as_nanos()).unwrap_or(u64::MAX));
         }
-        if iters == 0 {
-            total = one();
-            iters = 1;
+        if samples.is_empty() {
+            samples.push(u64::try_from(one().as_nanos()).unwrap_or(u64::MAX));
         }
-        self.result = Some((total / u32::try_from(iters).unwrap_or(u32::MAX), iters));
+        self.result = Some(summarize(samples));
     }
 }
 
@@ -228,8 +290,14 @@ impl Criterion {
         };
         routine(&mut bencher);
         match bencher.result {
-            Some((mean, iters)) => {
-                println!("{name:<50} time: [{}]  ({iters} iterations)", render_duration(mean));
+            Some(m) => {
+                println!(
+                    "{name:<50} time: [{} ± {}]  ({} iterations, {} outliers rejected)",
+                    render_duration(m.median),
+                    render_duration(m.sigma),
+                    m.iters,
+                    m.outliers
+                );
             }
             None => println!("{name:<50} (no measurement recorded)"),
         }
@@ -270,9 +338,31 @@ mod tests {
             result: None,
         };
         b.iter(|| std::hint::black_box(1 + 1));
-        let (mean, iters) = b.result.expect("measured");
-        assert!(iters > 0);
-        assert!(mean < Duration::from_secs(1));
+        let m = b.result.expect("measured");
+        assert!(m.iters > 0);
+        assert!(m.median < Duration::from_secs(1));
+        assert!(m.outliers < m.iters, "rejection must keep some samples");
+    }
+
+    #[test]
+    fn summary_is_median_with_outliers_rejected() {
+        // A tight cluster around 100ns plus one wild 10µs spike: the spike
+        // must be rejected and neither the median nor σ may feel it.
+        let mut samples = vec![98, 99, 100, 100, 101, 102, 99, 101, 100, 98];
+        samples.push(10_000);
+        let m = summarize(samples);
+        assert_eq!(m.iters, 11);
+        assert_eq!(m.outliers, 1);
+        assert_eq!(m.median, Duration::from_nanos(100));
+        assert!(m.sigma < Duration::from_nanos(5), "sigma {:?}", m.sigma);
+    }
+
+    #[test]
+    fn summary_of_identical_samples_rejects_nothing() {
+        let m = summarize(vec![50; 32]);
+        assert_eq!(m.outliers, 0);
+        assert_eq!(m.median, Duration::from_nanos(50));
+        assert_eq!(m.sigma, Duration::ZERO);
     }
 
     #[test]

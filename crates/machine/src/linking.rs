@@ -171,6 +171,7 @@ pub fn check_multicore_linking_between(
         description: format!("∀sched: [[P]]_Mx86({ncpus} cpus) ⊑ [[P]]_Lx86[D]"),
         cases_checked,
         cases_skipped,
+        cases_reduced: 0,
     })
 }
 

@@ -214,6 +214,13 @@ impl Strategy for CvEnvPlayer {
         StrategyMove::idle()
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![
+            EventKind::RelQ(self.l),
+            EventKind::CvSignal(self.cv),
+        ])
+    }
+
     fn name(&self) -> &str {
         "cv-signaller"
     }

@@ -209,6 +209,15 @@ impl Strategy for SenderEnvPlayer {
         ])
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![
+            EventKind::AcqQ(self.ch),
+            EventKind::IpcSend(QId(self.ch.0), Val::Int(0)),
+            EventKind::CvSignal(QId(self.ch.0)),
+            EventKind::RelQ(self.ch),
+        ])
+    }
+
     fn name(&self) -> &str {
         "ipc-sender"
     }

@@ -422,6 +422,16 @@ impl Strategy for McsEnvPlayer {
         }
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![
+            EventKind::McsSwap(self.b),
+            EventKind::McsSetNext(self.b, self.pid),
+            EventKind::McsCasTail(self.b),
+            EventKind::McsGrant(self.b, self.pid),
+            EventKind::Hold(self.b),
+        ])
+    }
+
     fn name(&self) -> &str {
         "mcs-contender"
     }

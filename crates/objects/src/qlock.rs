@@ -281,6 +281,19 @@ impl Strategy for QlockEnvPlayer {
         }
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // The `Prim` moves carry a global footprint, so this never
+        // licenses a reduction — it documents the alphabet.
+        Some(vec![
+            EventKind::Acq(self.l),
+            EventKind::Rel(self.l),
+            EventKind::Wakeup(QId(self.l.0)),
+            EventKind::Sleep(QId(self.l.0), self.l),
+            EventKind::Prim("ql_take".into(), vec![Val::Loc(self.l)]),
+            EventKind::Prim("ql_pass".into(), vec![Val::Loc(self.l), Val::Int(0)]),
+        ])
+    }
+
     fn name(&self) -> &str {
         "qlock-contender"
     }

@@ -370,6 +370,14 @@ impl Strategy for WakerEnvPlayer {
         }
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![
+            EventKind::Wakeup(self.q),
+            EventKind::EnQ(QId(PENDQ_BASE), Val::Int(0)),
+            EventKind::Yield,
+        ])
+    }
+
     fn name(&self) -> &str {
         "waker"
     }

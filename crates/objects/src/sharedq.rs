@@ -166,6 +166,17 @@ impl Strategy for SharedQEnvPlayer {
         ])
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // Payload values are irrelevant to independence — only the
+        // footprints (lock `q`, queue `q.0`) matter.
+        Some(vec![
+            EventKind::Acq(self.q),
+            EventKind::EnQ(QId(self.q.0), Val::Int(0)),
+            EventKind::DeQ(QId(self.q.0)),
+            EventKind::Rel(self.q),
+        ])
+    }
+
     fn name(&self) -> &str {
         "sharedq-contender"
     }

@@ -443,6 +443,18 @@ impl Strategy for TicketEnvPlayer {
         }
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // Every move touches only the ticket state of lock `self.b`; the
+        // decisions depend only on this pid's own projection of the log
+        // plus the replayed state of `self.b`, so the strategy is local to
+        // these kinds' footprints as `Strategy::may_emit` requires.
+        Some(vec![
+            EventKind::FaiT(self.b),
+            EventKind::Hold(self.b),
+            EventKind::IncN(self.b),
+        ])
+    }
+
     fn name(&self) -> &str {
         "ticket-contender"
     }
@@ -487,6 +499,10 @@ impl Strategy for AtomicLockEnvPlayer {
         StrategyMove::idle()
     }
 
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        Some(vec![EventKind::Acq(self.b), EventKind::Rel(self.b)])
+    }
+
     fn name(&self) -> &str {
         "atomic-lock-contender"
     }
@@ -526,6 +542,18 @@ impl Strategy for FooEnvPlayer {
         } else {
             StrategyMove::idle()
         }
+    }
+
+    fn may_emit(&self) -> Option<Vec<EventKind>> {
+        // The `Prim` calls carry a global footprint, so this declaration
+        // never licenses a reduction — it documents the alphabet and keeps
+        // the player honest if `Prim` footprints ever become finer.
+        Some(vec![
+            EventKind::Acq(self.b),
+            Event::prim(self.pid, "f", vec![]).kind,
+            Event::prim(self.pid, "g", vec![]).kind,
+            EventKind::Rel(self.b),
+        ])
     }
 
     fn name(&self) -> &str {

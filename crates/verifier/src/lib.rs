@@ -23,8 +23,11 @@ pub mod race;
 pub mod report;
 pub mod seqref;
 
-pub use linz::{check_linearizability, fifo_history_validator, lock_history_validator};
-pub use live::{check_liveness, ticket_bound};
-pub use race::{check_race_freedom, count_racy_interleavings};
+pub use linz::{
+    check_linearizability, check_linearizability_por, fifo_history_validator,
+    lock_history_validator,
+};
+pub use live::{check_liveness, check_liveness_por, ticket_bound};
+pub use race::{check_race_freedom, check_race_freedom_por, count_racy_interleavings};
 pub use report::{ReportSection, VerificationReport};
-pub use seqref::{check_sequence_refinement, OpScript};
+pub use seqref::{check_sequence_refinement, check_sequence_refinement_por, OpScript};

@@ -46,16 +46,50 @@ pub fn check_linearizability(
     contexts: &[EnvContext],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
+    check_linearizability_por(
+        impl_iface,
+        focused,
+        programs,
+        relation,
+        validate_history,
+        contexts,
+        fuel,
+        ccal_core::por::por_enabled(),
+    )
+}
+
+/// [`check_linearizability`] with the partial-order reduction explicitly
+/// on or off (contexts marked trace-equivalent by the generator are
+/// skipped and counted as `cases_reduced` when `por` is true).
+///
+/// # Errors
+///
+/// As [`check_linearizability`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_linearizability_por(
+    impl_iface: &LayerInterface,
+    focused: &PidSet,
+    programs: &BTreeMap<Pid, ThreadScript>,
+    relation: &SimRelation,
+    validate_history: &HistoryValidator,
+    contexts: &[EnvContext],
+    fuel: u64,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
     #[allow(clippy::items_after_statements)]
     enum Case {
         Checked,
         Skipped,
+        Reduced,
         Failed(Box<LayerError>),
     }
     let run_case = |ci: usize| -> Case {
         let env = &contexts[ci];
+        if por && env.is_por_equivalent() {
+            return Case::Reduced;
+        }
         let machine = ConcurrentMachine::new(impl_iface.clone(), focused.clone(), env.clone())
             .with_fuel(fuel);
         let out = match machine.run(programs) {
@@ -87,11 +121,13 @@ pub fn check_linearizability(
     );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
+    let mut cases_reduced = 0;
     for slot in slots {
         match slot {
             None => break,
             Some(Case::Checked) => cases_checked += 1,
             Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Reduced) => cases_reduced += 1,
             Some(Case::Failed(e)) => return Err(*e),
         }
     }
@@ -104,6 +140,7 @@ pub fn check_linearizability(
         ),
         cases_checked,
         cases_skipped,
+        cases_reduced,
     })
 }
 

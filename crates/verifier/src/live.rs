@@ -42,17 +42,51 @@ pub fn check_liveness(
     bound: u64,
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
+    check_liveness_por(
+        iface,
+        prim,
+        args,
+        pid,
+        contexts,
+        bound,
+        fuel,
+        ccal_core::por::por_enabled(),
+    )
+}
+
+/// [`check_liveness`] with the partial-order reduction explicitly on or
+/// off (contexts marked trace-equivalent by the generator are skipped and
+/// counted as `cases_reduced` when `por` is true).
+///
+/// # Errors
+///
+/// As [`check_liveness`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_liveness_por(
+    iface: &LayerInterface,
+    prim: &str,
+    args: &[Val],
+    pid: Pid,
+    contexts: &[EnvContext],
+    bound: u64,
+    fuel: u64,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Contexts are independent: explore them on the shared work queue and
     // fold in context order, so the worst-case step count and the first
     // failure match the serial exploration exactly.
     #[allow(clippy::items_after_statements)]
     enum Case {
         Skipped,
+        Reduced,
         Done(u64),
         Failed(Box<LayerError>),
     }
     let run_case = |ci: usize| -> Case {
         let env = &contexts[ci];
+        if por && env.is_por_equivalent() {
+            return Case::Reduced;
+        }
         let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
         match machine.call_prim(prim, args) {
             Ok(_) => {}
@@ -84,11 +118,13 @@ pub fn check_liveness(
     );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
+    let mut cases_reduced = 0;
     let mut worst = 0_u64;
     for slot in slots {
         match slot {
             None => break,
             Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Reduced) => cases_reduced += 1,
             Some(Case::Done(steps)) => {
                 worst = worst.max(steps);
                 cases_checked += 1;
@@ -104,6 +140,7 @@ pub fn check_liveness(
         ),
         cases_checked,
         cases_skipped,
+        cases_reduced,
     })
 }
 

@@ -36,16 +36,45 @@ pub fn check_race_freedom(
     contexts: &[EnvContext],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
+    check_race_freedom_por(
+        iface,
+        focused,
+        programs,
+        contexts,
+        fuel,
+        ccal_core::por::por_enabled(),
+    )
+}
+
+/// [`check_race_freedom`] with the partial-order reduction explicitly on
+/// or off (contexts marked trace-equivalent by the generator are skipped
+/// and counted as `cases_reduced` when `por` is true).
+///
+/// # Errors
+///
+/// As [`check_race_freedom`].
+pub fn check_race_freedom_por(
+    iface: &LayerInterface,
+    focused: &PidSet,
+    programs: &BTreeMap<Pid, ThreadScript>,
+    contexts: &[EnvContext],
+    fuel: u64,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
     #[allow(clippy::items_after_statements)]
     enum Case {
         Checked,
         Skipped,
+        Reduced,
         Failed(Box<LayerError>),
     }
     let run_case = |ci: usize| -> Case {
         let env = &contexts[ci];
+        if por && env.is_por_equivalent() {
+            return Case::Reduced;
+        }
         let machine =
             ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
         match machine.run(programs) {
@@ -73,11 +102,13 @@ pub fn check_race_freedom(
     );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
+    let mut cases_reduced = 0;
     for slot in slots {
         match slot {
             None => break,
             Some(Case::Checked) => cases_checked += 1,
             Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Reduced) => cases_reduced += 1,
             Some(Case::Failed(e)) => return Err(*e),
         }
     }
@@ -86,6 +117,7 @@ pub fn check_race_freedom(
         description: format!("{} never gets stuck (push/pull DRF)", iface.name),
         cases_checked,
         cases_skipped,
+        cases_reduced,
     })
 }
 

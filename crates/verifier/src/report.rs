@@ -140,6 +140,7 @@ mod tests {
                     description: "thm 2.2".into(),
                     cases_checked: 5,
                     cases_skipped: 0,
+                    cases_reduced: 0,
                 }],
             );
         assert_eq!(report.sections().len(), 2);

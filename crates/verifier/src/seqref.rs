@@ -39,18 +39,52 @@ pub fn check_sequence_refinement(
     scripts: &[OpScript],
     fuel: u64,
 ) -> Result<Obligation, LayerError> {
+    check_sequence_refinement_por(
+        impl_iface,
+        spec_iface,
+        relation,
+        pid,
+        contexts,
+        scripts,
+        fuel,
+        ccal_core::por::por_enabled(),
+    )
+}
+
+/// [`check_sequence_refinement`] with the partial-order reduction
+/// explicitly on or off (contexts marked trace-equivalent by the generator
+/// are skipped and counted as `cases_reduced` when `por` is true).
+///
+/// # Errors
+///
+/// As [`check_sequence_refinement`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_sequence_refinement_por(
+    impl_iface: &LayerInterface,
+    spec_iface: &LayerInterface,
+    relation: &SimRelation,
+    pid: Pid,
+    contexts: &[EnvContext],
+    scripts: &[OpScript],
+    fuel: u64,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // The (context × script) grid is explored on the shared work queue and
     // folded in case order — same counts and first failure as serially.
     #[allow(clippy::items_after_statements)]
     enum Case {
         Checked,
         Skipped,
+        Reduced,
         Failed(Box<LayerError>),
     }
     let nscripts = scripts.len();
     let run_case = |idx: usize| -> Case {
         let (ci, si) = (idx / nscripts, idx % nscripts);
         let env = &contexts[ci];
+        if por && env.is_por_equivalent() {
+            return Case::Reduced;
+        }
         let script = &scripts[si];
         let mut impl_machine =
             LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
@@ -105,11 +139,13 @@ pub fn check_sequence_refinement(
     );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
+    let mut cases_reduced = 0;
     for slot in slots {
         match slot {
             None => break,
             Some(Case::Checked) => cases_checked += 1,
             Some(Case::Skipped) => cases_skipped += 1,
+            Some(Case::Reduced) => cases_reduced += 1,
             Some(Case::Failed(e)) => return Err(*e),
         }
     }
@@ -124,6 +160,7 @@ pub fn check_sequence_refinement(
         ),
         cases_checked,
         cases_skipped,
+        cases_reduced,
     })
 }
 

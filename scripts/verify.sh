@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
-# parallel-vs-serial differential suite, the full workspace tests, and a
-# criterion-free benchmark smoke run. Everything here works without
-# network access — proptest/criterion resolve to the in-repo shim crates.
+# parallel-vs-serial and POR differential suites (the latter both with the
+# reduction on and under the CCAL_POR=0 escape hatch), the engine
+# regression tests, the full workspace tests, and a criterion-free
+# benchmark smoke run. Everything here works without network access —
+# proptest/criterion resolve to the in-repo shim crates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,15 @@ cargo test -q
 
 echo "== differential: parallel + dedup engine vs serial =="
 cargo test -q --test parallel_differential
+
+echo "== differential: POR-reduced grid vs full grid (all five checkers) =="
+cargo test -q --test por_differential
+
+echo "== differential: full grid re-checked with the escape hatch (CCAL_POR=0) =="
+CCAL_POR=0 cargo test -q --test por_differential
+
+echo "== regression: grid sampling, space_size, workers, cache cap =="
+cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
 echo "== workspace tests =="
 cargo test --workspace -q
