@@ -129,6 +129,11 @@ pub struct Certificate {
     obligations: Vec<Obligation>,
     /// Logs reached during checking, used as probes by [`pcomp`].
     pub probes: ProbeSuite,
+    /// Shrink accounting attached after a failed sibling check was
+    /// minimized by the forensics pipeline (empty for ordinary
+    /// certificates, so equality comparisons between differential runs
+    /// are unaffected).
+    shrink_notes: Vec<crate::forensics::ShrinkNote>,
 }
 
 impl Certificate {
@@ -164,10 +169,22 @@ impl Certificate {
         self.obligations.iter().map(|o| o.cases_skipped).sum()
     }
 
+    /// Attaches shrink accounting for a minimized counterexample (see
+    /// [`crate::forensics::ShrinkNote`]).
+    pub fn push_shrink_note(&mut self, note: crate::forensics::ShrinkNote) {
+        self.shrink_notes.push(note);
+    }
+
+    /// Shrink accounting attached to this certificate, in insertion order.
+    pub fn shrink_notes(&self) -> &[crate::forensics::ShrinkNote] {
+        &self.shrink_notes
+    }
+
     /// Merges another certificate into this one.
     pub fn merge(&mut self, other: &Certificate) {
         self.obligations.extend(other.obligations.iter().cloned());
         self.probes.extend_from(&other.probes);
+        self.shrink_notes.extend(other.shrink_notes.iter().cloned());
     }
 }
 
@@ -181,6 +198,9 @@ impl fmt::Display for Certificate {
         )?;
         for o in &self.obligations {
             writeln!(f, "  {o}")?;
+        }
+        for n in &self.shrink_notes {
+            writeln!(f, "  {n}")?;
         }
         Ok(())
     }

@@ -101,6 +101,33 @@ impl ConcurrentMachine {
         &self,
         programs: &BTreeMap<Pid, ThreadScript>,
     ) -> Result<ConcurrentOutcome, MachineError> {
+        self.run_traced(programs).0
+    }
+
+    /// [`ConcurrentMachine::run`], additionally returning the global log as
+    /// it stood when the run ended — including on *failure*, where
+    /// [`MachineError`] alone carries no events. The failure-forensics
+    /// pipeline reifies this partial log into a replayable scripted
+    /// context. On success the returned log equals the outcome's (the log
+    /// is copy-on-write, so the extra clone is a reference-count bump).
+    pub fn run_traced(
+        &self,
+        programs: &BTreeMap<Pid, ThreadScript>,
+    ) -> (Result<ConcurrentOutcome, MachineError>, Log) {
+        let mut log = Log::new();
+        let res = self.run_impl(programs, &mut log);
+        let log_at_end = match &res {
+            Ok(out) => out.log.clone(),
+            Err(_) => log,
+        };
+        (res, log_at_end)
+    }
+
+    fn run_impl(
+        &self,
+        programs: &BTreeMap<Pid, ThreadScript>,
+        log: &mut Log,
+    ) -> Result<ConcurrentOutcome, MachineError> {
         for pid in programs.keys() {
             assert!(
                 self.focused.contains(*pid),
@@ -125,7 +152,6 @@ impl ConcurrentMachine {
                 )
             })
             .collect();
-        let mut log = Log::new();
         let mut abs = self.iface.init_abs.clone();
         let mut turns = 0_u64;
         // Stall detection: if no observable progress (non-scheduling
@@ -156,10 +182,10 @@ impl ConcurrentMachine {
             }
             turns += 1;
             // One scheduler decision.
-            let target = self.schedule_one(&mut log)?;
+            let target = self.schedule_one(log)?;
             if !self.focused.contains(target) {
                 // Environment participant: play its strategy move.
-                match self.env.player(target).next_move(&log) {
+                match self.env.player(target).next_move(log) {
                     StrategyMove::Emit(evs) => log.append_all(evs),
                     StrategyMove::Finish(_) => {}
                     StrategyMove::Stuck => {
@@ -169,17 +195,17 @@ impl ConcurrentMachine {
                         }));
                     }
                 }
-                self.check_rely(&log)?;
+                self.check_rely(log)?;
                 continue;
             }
             // Focused participant: advance to its next query point.
             let player = players.get_mut(&target).expect("focused player exists");
-            self.advance_player(target, player, &mut log, &mut abs)?;
-            self.check_guarantee(target, &log)?;
+            self.advance_player(target, player, log, &mut abs)?;
+            self.check_guarantee(target, log)?;
         }
         let rets = players.into_iter().map(|(p, st)| (p, st.rets)).collect();
         Ok(ConcurrentOutcome {
-            log,
+            log: log.clone(),
             abs,
             rets,
             turns,
@@ -412,5 +438,35 @@ mod tests {
         programs.insert(Pid(1), vec![("bump".to_owned(), vec![])]);
         let err = m.run(&programs).unwrap_err();
         assert!(matches!(err, MachineError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn run_traced_returns_the_partial_log_on_failure() {
+        // Same starving setup: the run fails, but the traced log still
+        // carries the scheduling events the game played before dying.
+        let env = EnvContext::new(Arc::new(RoundRobinScheduler::new(vec![Pid(0)])));
+        let m = ConcurrentMachine::new(
+            counter_iface(),
+            PidSet::from_pids([Pid(0), Pid(1)]),
+            env,
+        )
+        .with_fuel(64);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(1), vec![("bump".to_owned(), vec![])]);
+        let (res, log) = m.run_traced(&programs);
+        assert!(res.is_err());
+        assert!(!log.is_empty(), "the partial log is preserved");
+        assert!(log.iter().all(|e| e.pid == Pid(0)));
+    }
+
+    #[test]
+    fn run_traced_matches_run_on_success() {
+        let (focused, env) = two_focused();
+        let m = ConcurrentMachine::new(counter_iface(), focused, env);
+        let mut programs = BTreeMap::new();
+        programs.insert(Pid(0), vec![("bump".to_owned(), vec![]); 2]);
+        let (res, log) = m.run_traced(&programs);
+        let out = res.unwrap();
+        assert_eq!(out.log, log);
     }
 }

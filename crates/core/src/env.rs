@@ -110,6 +110,12 @@ impl EnvContext {
         self
     }
 
+    /// The query-process fuel (fairness bound) — exposed so the forensics
+    /// pipeline can carry it into serialized trace artifacts.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
     /// Marks this context as trace-equivalent to a lower-indexed context of
     /// the same grid (set by [`crate::contexts::ContextGen`] when the
     /// partial-order reduction proves the equivalence).

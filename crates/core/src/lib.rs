@@ -76,6 +76,7 @@ pub mod conc;
 pub mod contexts;
 pub mod env;
 pub mod event;
+pub mod forensics;
 pub mod id;
 pub mod layer;
 pub mod log;
@@ -101,6 +102,7 @@ pub mod prelude {
     pub use crate::contexts::ContextGen;
     pub use crate::env::EnvContext;
     pub use crate::event::{Event, EventKind};
+    pub use crate::forensics::{CaptureScope, FailingCase, ShrinkNote};
     pub use crate::id::{Loc, Pid, PidSet, QId};
     pub use crate::layer::{LayerInterface, PrimCtx, PrimRun, PrimSpec, PrimStep, SubCall};
     pub use crate::log::Log;

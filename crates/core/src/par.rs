@@ -15,11 +15,17 @@
 //!
 //! For a pure `run` function, `run_cases` guarantees that every index
 //! smaller than the smallest terminal index is `Some`: indices are handed
-//! out in order, workers only abandon an index strictly greater than an
-//! already-discovered terminal index, and the terminal minimum only ever
-//! decreases to indices that really are terminal. Indices past the first
-//! terminal outcome may or may not be present; an in-order fold never
-//! reads them.
+//! out in order (in contiguous chunks of [`CHUNK`]), workers only abandon
+//! an index strictly greater than an already-discovered terminal index,
+//! and the terminal minimum only ever decreases to indices that really
+//! are terminal. Abandoning is monotone: once a worker sees an index past
+//! the terminal minimum, every index it could still claim is larger (its
+//! remaining chunk items are larger, and chunk starts only grow), so it
+//! stops outright. Indices past the first terminal outcome may or may not
+//! be present; an in-order fold never reads them. This is what makes the
+//! first failure reported by every checker the **index-least** failing
+//! case regardless of worker count — the invariant the failure-forensics
+//! pipeline relies on for stable shrink inputs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -68,6 +74,13 @@ fn warn_bad_workers_once(raw: &str) {
     });
 }
 
+/// Case indices handed out per `fetch_add` on the shared work queue.
+/// Sub-microsecond cases (tiny machines on tiny grids) were bottlenecked
+/// on queue contention when every case was claimed individually; chunked
+/// handout amortizes the atomic traffic 16× while keeping the claim order
+/// contiguous and ascending, which the determinism contract needs.
+pub const CHUNK: usize = 16;
+
 /// Runs `run(0..total)` across `workers` threads, short-circuiting past
 /// the smallest index whose outcome satisfies `is_terminal`.
 ///
@@ -101,17 +114,27 @@ where
     let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total || i > min_terminal.load(Ordering::Relaxed) {
+            scope.spawn(|| 'claim: loop {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= total {
                     break;
                 }
-                let outcome = run(i);
-                if is_terminal(&outcome) {
-                    min_terminal.fetch_min(i, Ordering::Relaxed);
+                for i in start..(start + CHUNK).min(total) {
+                    // An index past the terminal minimum is abandoned —
+                    // and with it the whole worker: every index it could
+                    // still claim is even larger (chunk items ascend and
+                    // chunk starts only grow), so nothing below the final
+                    // terminal minimum is ever skipped.
+                    if i > min_terminal.load(Ordering::Relaxed) {
+                        break 'claim;
+                    }
+                    let outcome = run(i);
+                    if is_terminal(&outcome) {
+                        min_terminal.fetch_min(i, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(outcome);
                 }
-                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                    Some(outcome);
             });
         }
     });
@@ -163,6 +186,38 @@ mod tests {
             let (seen, failure) = fold_first_failure(slots);
             assert_eq!(failure, Some(-17), "workers={workers}");
             assert_eq!(seen, (0..17).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn failures_straddling_chunk_boundaries_still_select_the_least_index() {
+        // Failures inside the first chunk (14), right at a boundary (16),
+        // and deep in later chunks (33, 77): whichever worker computes
+        // what, index 14 must win, and everything below it must be Some.
+        let run = |i: usize| {
+            if matches!(i, 14 | 16 | 33 | 77) {
+                -(i as i32)
+            } else {
+                i as i32
+            }
+        };
+        for workers in [2, 3, 4, 8] {
+            let slots = run_cases(100, workers, run, |v| *v < 0);
+            assert!(slots[..14].iter().all(Option::is_some), "workers={workers}");
+            let (seen, failure) = fold_first_failure(slots);
+            assert_eq!(failure, Some(-14), "workers={workers}");
+            assert_eq!(seen, (0..14).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn non_chunk_multiple_totals_compute_every_case() {
+        // total not a multiple of CHUNK, no failures: every slot is Some
+        // and the fold sees all of them.
+        for total in [1, CHUNK - 1, CHUNK + 1, 3 * CHUNK + 5] {
+            let slots = run_cases(total, 4, |i| i as i32, |_| false);
+            assert_eq!(slots.len(), total);
+            assert!(slots.iter().all(Option::is_some), "total={total}");
         }
     }
 

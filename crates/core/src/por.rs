@@ -41,17 +41,43 @@ use crate::strategy::Strategy;
 
 /// Whether partial-order reduction is enabled for this process.
 ///
-/// Defaults to `true`; set the environment variable `CCAL_POR=0` to disable
-/// it globally (the escape hatch for differential debugging). The variable
-/// is read once and cached for the lifetime of the process.
+/// Controlled by the `CCAL_POR` environment variable, which accepts the
+/// same value grammar as `CCAL_WORKERS` ([`crate::par::default_workers`]):
+///
+/// * unset — the reduction is on (the default);
+/// * `0` — the reduction is off (the escape hatch for differential
+///   debugging);
+/// * any other non-negative integer — the reduction is on;
+/// * anything else — a warning is printed to stderr once per process and
+///   the variable is ignored (the reduction stays on).
+///
+/// The variable is read once and cached for the lifetime of the process.
 pub fn por_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| parse_por(std::env::var("CCAL_POR").ok().as_deref()))
+    *ENABLED.get_or_init(|| match std::env::var("CCAL_POR") {
+        Ok(v) => parse_por(&v).unwrap_or_else(|| {
+            warn_bad_por_once(&v);
+            true
+        }),
+        Err(_) => true,
+    })
 }
 
-/// `CCAL_POR` parsing: only an explicit `0` disables the reduction.
-fn parse_por(raw: Option<&str>) -> bool {
-    raw.is_none_or(|v| v.trim() != "0")
+/// Parses a `CCAL_POR` value with the `CCAL_WORKERS` grammar: `Some(false)`
+/// for `0`, `Some(true)` for any other non-negative integer, `None` for
+/// anything unparseable.
+fn parse_por(raw: &str) -> Option<bool> {
+    raw.trim().parse::<u64>().ok().map(|n| n != 0)
+}
+
+fn warn_bad_por_once(raw: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "ccal: ignoring unparseable CCAL_POR={raw:?} (expected a \
+             non-negative integer; 0 disables the reduction)"
+        );
+    });
 }
 
 /// The independence relation lifted from events to scheduler-domain pids.
@@ -286,13 +312,17 @@ mod tests {
     }
 
     #[test]
-    fn parse_por_only_zero_disables() {
-        assert!(parse_por(None));
-        assert!(parse_por(Some("1")));
-        assert!(parse_por(Some("yes")));
-        assert!(parse_por(Some("")));
-        assert!(!parse_por(Some("0")));
-        assert!(!parse_por(Some(" 0 ")));
+    fn parse_por_follows_the_workers_grammar() {
+        assert_eq!(parse_por("0"), Some(false));
+        assert_eq!(parse_por(" 0 "), Some(false));
+        assert_eq!(parse_por("1"), Some(true));
+        assert_eq!(parse_por(" 16\n"), Some(true));
+        // Garbage is rejected (the caller warns once and keeps the
+        // default) instead of silently enabling the reduction.
+        assert_eq!(parse_por("yes"), None);
+        assert_eq!(parse_por(""), None);
+        assert_eq!(parse_por("-1"), None);
+        assert_eq!(parse_por("1.5"), None);
     }
 
     #[test]

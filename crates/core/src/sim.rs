@@ -483,7 +483,7 @@ pub fn check_prim_refinement(
     };
     let nargs = arg_vectors.len();
     let total = contexts.len() * nargs;
-    let run_case = |idx: usize| -> CaseOutcome {
+    let run_case_inner = |idx: usize| -> CaseOutcome {
         let (ci, ai) = (idx / nargs, idx % nargs);
         let env = &contexts[ci];
         if opts.por && env.is_por_equivalent() {
@@ -601,6 +601,26 @@ pub fn check_prim_refinement(
                 }
             }
         }
+    };
+    // When a forensics capture scope is active, record every failing case
+    // (with its concrete lower log) so the shrink/replay pipeline can
+    // reify the adversarial context; the index-least capture is exactly
+    // the first failure returned below.
+    let run_case = |idx: usize| -> CaseOutcome {
+        let outcome = run_case_inner(idx);
+        if crate::forensics::capturing() {
+            if let CaseOutcome::Failed(f) = &outcome {
+                crate::forensics::record(crate::forensics::FailingCase {
+                    checker: "sim",
+                    case_index: idx,
+                    ctx_index: idx / nargs,
+                    detail: f.case.clone(),
+                    log: f.lower_log.clone(),
+                    reason: f.reason.clone(),
+                });
+            }
+        }
+        outcome
     };
     let slots = crate::par::run_cases(total, opts.workers, run_case, |o| {
         matches!(o, CaseOutcome::Failed(_))

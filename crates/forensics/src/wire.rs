@@ -1,0 +1,387 @@
+//! Wire encoding of core values and events into [`Json`].
+//!
+//! The artifact format is self-describing: values are tagged
+//! (`{"t": "Int", "v": 5}`) and events carry their kind name plus only
+//! the operand fields that kind uses (`loc`, `pid2`, `q`, `val`, `name`,
+//! `args`). Every [`EventKind`] variant round-trips — the regression test
+//! below enumerates all of them.
+
+use ccal_core::event::{Event, EventKind};
+use ccal_core::id::{Loc, Pid, QId};
+use ccal_core::log::Log;
+use ccal_core::val::Val;
+
+use crate::json::Json;
+
+/// A decode error naming the offending fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn bad(what: &str, j: &Json) -> WireError {
+    WireError(format!("{what}: {j}"))
+}
+
+/// Encodes a value, tagged by variant.
+pub fn encode_val(v: &Val) -> Json {
+    match v {
+        Val::Undef => Json::obj([("t", Json::Str("Undef".into()))]),
+        Val::Unit => Json::obj([("t", Json::Str("Unit".into()))]),
+        Val::Int(n) => Json::obj([("t", Json::Str("Int".into())), ("v", Json::Int(*n))]),
+        Val::Bool(b) => Json::obj([("t", Json::Str("Bool".into())), ("v", Json::Bool(*b))]),
+        Val::Loc(Loc(l)) => Json::obj([
+            ("t", Json::Str("Loc".into())),
+            ("v", Json::Int(i64::from(*l))),
+        ]),
+        Val::Str(s) => Json::obj([("t", Json::Str("Str".into())), ("v", Json::Str(s.clone()))]),
+        Val::List(items) => Json::obj([
+            ("t", Json::Str("List".into())),
+            ("v", Json::Arr(items.iter().map(encode_val).collect())),
+        ]),
+    }
+}
+
+/// Decodes a value.
+///
+/// # Errors
+///
+/// [`WireError`] on unknown tags or missing operands.
+pub fn decode_val(j: &Json) -> Result<Val, WireError> {
+    let tag = j
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("value without tag", j))?;
+    let v = j.get("v");
+    match tag {
+        "Undef" => Ok(Val::Undef),
+        "Unit" => Ok(Val::Unit),
+        "Int" => v
+            .and_then(Json::as_int)
+            .map(Val::Int)
+            .ok_or_else(|| bad("Int without integer operand", j)),
+        "Bool" => v
+            .and_then(Json::as_bool)
+            .map(Val::Bool)
+            .ok_or_else(|| bad("Bool without bool operand", j)),
+        "Loc" => v
+            .and_then(Json::as_int)
+            .and_then(|n| u32::try_from(n).ok())
+            .map(|n| Val::Loc(Loc(n)))
+            .ok_or_else(|| bad("Loc without u32 operand", j)),
+        "Str" => v
+            .and_then(Json::as_str)
+            .map(|s| Val::Str(s.to_owned()))
+            .ok_or_else(|| bad("Str without string operand", j)),
+        "List" => v
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("List without array operand", j))?
+            .iter()
+            .map(decode_val)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Val::List),
+        _ => Err(bad("unknown value tag", j)),
+    }
+}
+
+fn u32_field(j: &Json, field: &str) -> Result<u32, WireError> {
+    j.get(field)
+        .and_then(Json::as_int)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| bad(&format!("event missing u32 `{field}`"), j))
+}
+
+fn val_field(j: &Json, field: &str) -> Result<Val, WireError> {
+    decode_val(
+        j.get(field)
+            .ok_or_else(|| bad(&format!("event missing `{field}`"), j))?,
+    )
+}
+
+/// Encodes one event: author pid, kind name, and the operands that kind
+/// uses.
+pub fn encode_event(e: &Event) -> Json {
+    use EventKind::*;
+    let mut pairs: Vec<(&'static str, Json)> = vec![("pid", Json::Int(i64::from(e.pid.0)))];
+    let kind = |k: &str| Json::Str(k.to_owned());
+    let loc = |l: Loc| Json::Int(i64::from(l.0));
+    let q = |q: QId| Json::Int(i64::from(q.0));
+    match &e.kind {
+        HwSched(p) => {
+            pairs.push(("k", kind("HwSched")));
+            pairs.push(("pid2", Json::Int(i64::from(p.0))));
+        }
+        Pull(b) => {
+            pairs.push(("k", kind("Pull")));
+            pairs.push(("loc", loc(*b)));
+        }
+        Push(b, v) => {
+            pairs.push(("k", kind("Push")));
+            pairs.push(("loc", loc(*b)));
+            pairs.push(("val", encode_val(v)));
+        }
+        FaiT(b) => {
+            pairs.push(("k", kind("FaiT")));
+            pairs.push(("loc", loc(*b)));
+        }
+        GetN(b) => {
+            pairs.push(("k", kind("GetN")));
+            pairs.push(("loc", loc(*b)));
+        }
+        IncN(b) => {
+            pairs.push(("k", kind("IncN")));
+            pairs.push(("loc", loc(*b)));
+        }
+        Hold(b) => {
+            pairs.push(("k", kind("Hold")));
+            pairs.push(("loc", loc(*b)));
+        }
+        Acq(b) => {
+            pairs.push(("k", kind("Acq")));
+            pairs.push(("loc", loc(*b)));
+        }
+        Rel(b) => {
+            pairs.push(("k", kind("Rel")));
+            pairs.push(("loc", loc(*b)));
+        }
+        McsSwap(b) => {
+            pairs.push(("k", kind("McsSwap")));
+            pairs.push(("loc", loc(*b)));
+        }
+        McsCasTail(b) => {
+            pairs.push(("k", kind("McsCasTail")));
+            pairs.push(("loc", loc(*b)));
+        }
+        McsSetNext(b, p) => {
+            pairs.push(("k", kind("McsSetNext")));
+            pairs.push(("loc", loc(*b)));
+            pairs.push(("pid2", Json::Int(i64::from(p.0))));
+        }
+        McsGetLocked(b) => {
+            pairs.push(("k", kind("McsGetLocked")));
+            pairs.push(("loc", loc(*b)));
+        }
+        McsGrant(b, p) => {
+            pairs.push(("k", kind("McsGrant")));
+            pairs.push(("loc", loc(*b)));
+            pairs.push(("pid2", Json::Int(i64::from(p.0))));
+        }
+        EnQ(qi, v) => {
+            pairs.push(("k", kind("EnQ")));
+            pairs.push(("q", q(*qi)));
+            pairs.push(("val", encode_val(v)));
+        }
+        DeQ(qi) => {
+            pairs.push(("k", kind("DeQ")));
+            pairs.push(("q", q(*qi)));
+        }
+        Yield => pairs.push(("k", kind("Yield"))),
+        Sleep(qi, lk) => {
+            pairs.push(("k", kind("Sleep")));
+            pairs.push(("q", q(*qi)));
+            pairs.push(("loc", loc(*lk)));
+        }
+        Wakeup(qi) => {
+            pairs.push(("k", kind("Wakeup")));
+            pairs.push(("q", q(*qi)));
+        }
+        AcqQ(b) => {
+            pairs.push(("k", kind("AcqQ")));
+            pairs.push(("loc", loc(*b)));
+        }
+        RelQ(b) => {
+            pairs.push(("k", kind("RelQ")));
+            pairs.push(("loc", loc(*b)));
+        }
+        CvWait(qi) => {
+            pairs.push(("k", kind("CvWait")));
+            pairs.push(("q", q(*qi)));
+        }
+        CvSignal(qi) => {
+            pairs.push(("k", kind("CvSignal")));
+            pairs.push(("q", q(*qi)));
+        }
+        CvBroadcast(qi) => {
+            pairs.push(("k", kind("CvBroadcast")));
+            pairs.push(("q", q(*qi)));
+        }
+        IpcSend(qi, v) => {
+            pairs.push(("k", kind("IpcSend")));
+            pairs.push(("q", q(*qi)));
+            pairs.push(("val", encode_val(v)));
+        }
+        IpcRecv(qi) => {
+            pairs.push(("k", kind("IpcRecv")));
+            pairs.push(("q", q(*qi)));
+        }
+        Prim(name, args) => {
+            pairs.push(("k", kind("Prim")));
+            pairs.push(("name", Json::Str(name.clone())));
+            pairs.push(("args", Json::Arr(args.iter().map(encode_val).collect())));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Decodes one event.
+///
+/// # Errors
+///
+/// [`WireError`] on unknown kinds or missing operands.
+pub fn decode_event(j: &Json) -> Result<Event, WireError> {
+    use EventKind::*;
+    let pid = Pid(u32_field(j, "pid")?);
+    let k = j
+        .get("k")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("event without kind", j))?;
+    let loc = || u32_field(j, "loc").map(Loc);
+    let pid2 = || u32_field(j, "pid2").map(Pid);
+    let q = || u32_field(j, "q").map(QId);
+    let kind = match k {
+        "HwSched" => HwSched(pid2()?),
+        "Pull" => Pull(loc()?),
+        "Push" => Push(loc()?, val_field(j, "val")?),
+        "FaiT" => FaiT(loc()?),
+        "GetN" => GetN(loc()?),
+        "IncN" => IncN(loc()?),
+        "Hold" => Hold(loc()?),
+        "Acq" => Acq(loc()?),
+        "Rel" => Rel(loc()?),
+        "McsSwap" => McsSwap(loc()?),
+        "McsCasTail" => McsCasTail(loc()?),
+        "McsSetNext" => McsSetNext(loc()?, pid2()?),
+        "McsGetLocked" => McsGetLocked(loc()?),
+        "McsGrant" => McsGrant(loc()?, pid2()?),
+        "EnQ" => EnQ(q()?, val_field(j, "val")?),
+        "DeQ" => DeQ(q()?),
+        "Yield" => Yield,
+        "Sleep" => Sleep(q()?, loc()?),
+        "Wakeup" => Wakeup(q()?),
+        "AcqQ" => AcqQ(loc()?),
+        "RelQ" => RelQ(loc()?),
+        "CvWait" => CvWait(q()?),
+        "CvSignal" => CvSignal(q()?),
+        "CvBroadcast" => CvBroadcast(q()?),
+        "IpcSend" => IpcSend(q()?, val_field(j, "val")?),
+        "IpcRecv" => IpcRecv(q()?),
+        "Prim" => {
+            let name = j
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("Prim without name", j))?
+                .to_owned();
+            let args = j
+                .get("args")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("Prim without args", j))?
+                .iter()
+                .map(decode_val)
+                .collect::<Result<Vec<_>, _>>()?;
+            Prim(name, args)
+        }
+        _ => return Err(bad("unknown event kind", j)),
+    };
+    Ok(Event::new(pid, kind))
+}
+
+/// Encodes a log as an event array.
+pub fn encode_log(log: &Log) -> Json {
+    Json::Arr(log.iter().map(encode_event).collect())
+}
+
+/// Decodes a log.
+///
+/// # Errors
+///
+/// [`WireError`] as [`decode_event`].
+pub fn decode_log(j: &Json) -> Result<Log, WireError> {
+    let events = j
+        .as_arr()
+        .ok_or_else(|| bad("log is not an array", j))?
+        .iter()
+        .map(decode_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Log::from_events(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        use EventKind::*;
+        let p = Pid(3);
+        let b = Loc(7);
+        let qi = QId(2);
+        let v = Val::List(vec![
+            Val::Undef,
+            Val::Unit,
+            Val::Int(-9),
+            Val::Bool(true),
+            Val::Loc(Loc(1)),
+            Val::Str("s\"x\n".into()),
+        ]);
+        [
+            HwSched(Pid(1)),
+            Pull(b),
+            Push(b, v.clone()),
+            FaiT(b),
+            GetN(b),
+            IncN(b),
+            Hold(b),
+            Acq(b),
+            Rel(b),
+            McsSwap(b),
+            McsCasTail(b),
+            McsSetNext(b, Pid(4)),
+            McsGetLocked(b),
+            McsGrant(b, Pid(5)),
+            EnQ(qi, Val::Int(10)),
+            DeQ(qi),
+            Yield,
+            Sleep(qi, b),
+            Wakeup(qi),
+            AcqQ(b),
+            RelQ(b),
+            CvWait(qi),
+            CvSignal(qi),
+            CvBroadcast(qi),
+            IpcSend(qi, Val::Int(1)),
+            IpcRecv(qi),
+            Prim("op".into(), vec![v]),
+        ]
+        .into_iter()
+        .map(|k| Event::new(p, k))
+        .collect()
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for e in sample_events() {
+            let j = encode_event(&e);
+            let text = j.pretty();
+            let back = decode_event(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, e, "round trip failed for {e}");
+        }
+    }
+
+    #[test]
+    fn logs_round_trip() {
+        let log = Log::from_events(sample_events());
+        let j = encode_log(&log);
+        assert_eq!(decode_log(&j).unwrap(), log);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let j = crate::json::parse(r#"{"pid": 0, "k": "Warp"}"#).unwrap();
+        assert!(decode_event(&j).is_err());
+    }
+}

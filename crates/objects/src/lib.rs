@@ -21,7 +21,10 @@
 //!   instead of spinning;
 //! * [`condvar`] — Mesa-style condition variables over the queuing lock;
 //! * [`ipc`] — synchronous message passing at the top of the Fig. 1
-//!   tower.
+//!   tower;
+//! * [`buggy`] — intentionally defective fixtures that seed the
+//!   failure-forensics pipeline (`ccal-forensics`) with reproducible
+//!   counterexamples.
 //!
 //! Each module exports its layer interfaces, its ClightX (and assembly)
 //! sources, its replay functions and simulation relations, well-behaved
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buggy;
 pub mod condvar;
 pub mod ipc;
 pub mod localq;

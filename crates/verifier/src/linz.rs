@@ -76,6 +76,38 @@ pub fn check_linearizability_por(
     fuel: u64,
     por: bool,
 ) -> Result<Obligation, LayerError> {
+    check_linearizability_tuned(
+        impl_iface,
+        focused,
+        programs,
+        relation,
+        validate_history,
+        contexts,
+        fuel,
+        ccal_core::par::default_workers(),
+        por,
+    )
+}
+
+/// [`check_linearizability_por`] with an explicit worker count — `1`
+/// explores the grid serially on the calling thread, the reference
+/// behavior the forensics replay gate uses for bit-identical reproduction.
+///
+/// # Errors
+///
+/// As [`check_linearizability`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_linearizability_tuned(
+    impl_iface: &LayerInterface,
+    focused: &PidSet,
+    programs: &BTreeMap<Pid, ThreadScript>,
+    relation: &SimRelation,
+    validate_history: &HistoryValidator,
+    contexts: &[EnvContext],
+    fuel: u64,
+    workers: usize,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
     #[allow(clippy::items_after_statements)]
@@ -92,33 +124,53 @@ pub fn check_linearizability_por(
         }
         let machine = ConcurrentMachine::new(impl_iface.clone(), focused.clone(), env.clone())
             .with_fuel(fuel);
-        let out = match machine.run(programs) {
+        let (res, log) = machine.run_traced(programs);
+        let fail = |reason: String, err: LayerError| -> Case {
+            if ccal_core::forensics::capturing() {
+                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
+                    checker: "linz",
+                    case_index: ci,
+                    ctx_index: ci,
+                    detail: format!("context #{ci}"),
+                    log: log.clone(),
+                    reason,
+                });
+            }
+            Case::Failed(Box::new(err))
+        };
+        let out = match res {
             Ok(out) => out,
             Err(e) if e.is_invalid_context() => return Case::Skipped,
-            Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+            Err(e) => {
+                let reason = format!("machine failure: {e}");
+                return fail(reason, LayerError::Machine(e));
+            }
         };
         let Some(history) = relation.abstracted(&out.log) else {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: format!("log in domain of {}", relation.name()),
-                found: out.log.to_string(),
-                context: format!("linearizability, context #{ci}"),
-            }));
+            return fail(
+                format!("log not in domain of {}", relation.name()),
+                LayerError::Mismatch {
+                    expected: format!("log in domain of {}", relation.name()),
+                    found: out.log.to_string(),
+                    context: format!("linearizability, context #{ci}"),
+                },
+            );
         };
         if let Err(msg) = validate_history(&history, &out.rets) {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: "a legal atomic history".to_owned(),
-                found: format!("{msg}; history: {history}"),
-                context: format!("linearizability, context #{ci}"),
-            }));
+            return fail(
+                format!("illegal atomic history: {msg}"),
+                LayerError::Mismatch {
+                    expected: "a legal atomic history".to_owned(),
+                    found: format!("{msg}; history: {history}"),
+                    context: format!("linearizability, context #{ci}"),
+                },
+            );
         }
         Case::Checked
     };
-    let slots = ccal_core::par::run_cases(
-        contexts.len(),
-        ccal_core::par::default_workers(),
-        run_case,
-        |c| matches!(c, Case::Failed(_)),
-    );
+    let slots = ccal_core::par::run_cases(contexts.len(), workers, run_case, |c| {
+        matches!(c, Case::Failed(_))
+    });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

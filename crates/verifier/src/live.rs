@@ -72,6 +72,38 @@ pub fn check_liveness_por(
     fuel: u64,
     por: bool,
 ) -> Result<Obligation, LayerError> {
+    check_liveness_tuned(
+        iface,
+        prim,
+        args,
+        pid,
+        contexts,
+        bound,
+        fuel,
+        ccal_core::par::default_workers(),
+        por,
+    )
+}
+
+/// [`check_liveness_por`] with an explicit worker count — `1` explores the
+/// grid serially on the calling thread, the reference behavior the
+/// forensics replay gate uses for bit-identical reproduction.
+///
+/// # Errors
+///
+/// As [`check_liveness`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_liveness_tuned(
+    iface: &LayerInterface,
+    prim: &str,
+    args: &[Val],
+    pid: Pid,
+    contexts: &[EnvContext],
+    bound: u64,
+    fuel: u64,
+    workers: usize,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Contexts are independent: explore them on the shared work queue and
     // fold in context order, so the worst-case step count and the first
     // failure match the serial exploration exactly.
@@ -88,34 +120,55 @@ pub fn check_liveness_por(
             return Case::Reduced;
         }
         let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
+            if ccal_core::forensics::capturing() {
+                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
+                    checker: "live",
+                    case_index: ci,
+                    ctx_index: ci,
+                    detail: format!("context #{ci}"),
+                    log: log.clone(),
+                    reason,
+                });
+            }
+            Case::Failed(Box::new(err))
+        };
         match machine.call_prim(prim, args) {
             Ok(_) => {}
             Err(e) if e.is_invalid_context() => return Case::Skipped,
             Err(ccal_core::machine::MachineError::OutOfFuel { .. }) => {
-                return Case::Failed(Box::new(LayerError::Mismatch {
-                    expected: format!("`{prim}` to terminate (starvation-freedom)"),
-                    found: "run exhausted its fuel (starvation)".to_owned(),
-                    context: format!("liveness, context #{ci}"),
-                }));
+                return fail(
+                    "run exhausted its fuel (starvation)".to_owned(),
+                    &machine.log,
+                    LayerError::Mismatch {
+                        expected: format!("`{prim}` to terminate (starvation-freedom)"),
+                        found: "run exhausted its fuel (starvation)".to_owned(),
+                        context: format!("liveness, context #{ci}"),
+                    },
+                );
             }
-            Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+            Err(e) => {
+                let reason = format!("machine failure: {e}");
+                return fail(reason, &machine.log, LayerError::Machine(e));
+            }
         }
         let steps = machine.log.iter().filter(|e| e.is_sched()).count() as u64;
         if steps > bound {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: format!("completion within {bound} scheduling steps"),
-                found: format!("{steps} steps"),
-                context: format!("liveness of `{prim}`, context #{ci}"),
-            }));
+            return fail(
+                format!("{steps} steps exceed the bound {bound}"),
+                &machine.log,
+                LayerError::Mismatch {
+                    expected: format!("completion within {bound} scheduling steps"),
+                    found: format!("{steps} steps"),
+                    context: format!("liveness of `{prim}`, context #{ci}"),
+                },
+            );
         }
         Case::Done(steps)
     };
-    let slots = ccal_core::par::run_cases(
-        contexts.len(),
-        ccal_core::par::default_workers(),
-        run_case,
-        |c| matches!(c, Case::Failed(_)),
-    );
+    let slots = ccal_core::par::run_cases(contexts.len(), workers, run_case, |c| {
+        matches!(c, Case::Failed(_))
+    });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

@@ -61,6 +61,33 @@ pub fn check_race_freedom_por(
     fuel: u64,
     por: bool,
 ) -> Result<Obligation, LayerError> {
+    check_race_freedom_tuned(
+        iface,
+        focused,
+        programs,
+        contexts,
+        fuel,
+        ccal_core::par::default_workers(),
+        por,
+    )
+}
+
+/// [`check_race_freedom_por`] with an explicit worker count — `1` explores
+/// the grid serially on the calling thread, the reference behavior the
+/// forensics replay gate uses for bit-identical reproduction.
+///
+/// # Errors
+///
+/// As [`check_race_freedom`].
+pub fn check_race_freedom_tuned(
+    iface: &LayerInterface,
+    focused: &PidSet,
+    programs: &BTreeMap<Pid, ThreadScript>,
+    contexts: &[EnvContext],
+    fuel: u64,
+    workers: usize,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
     #[allow(clippy::items_after_statements)]
@@ -77,29 +104,49 @@ pub fn check_race_freedom_por(
         }
         let machine =
             ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
-        match machine.run(programs) {
+        let (res, log) = machine.run_traced(programs);
+        let fail = |reason: String, err: LayerError| -> Case {
+            if ccal_core::forensics::capturing() {
+                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
+                    checker: "race",
+                    case_index: ci,
+                    ctx_index: ci,
+                    detail: format!("context #{ci}"),
+                    log: log.clone(),
+                    reason,
+                });
+            }
+            Case::Failed(Box::new(err))
+        };
+        match res {
             Ok(_) => Case::Checked,
             Err(e) if e.is_invalid_context() => Case::Skipped,
             Err(MachineError::OutOfFuel { .. }) => Case::Skipped,
-            Err(MachineError::Stuck(msg)) => Case::Failed(Box::new(LayerError::Mismatch {
-                expected: "a race-free run".to_owned(),
-                found: format!("stuck: {msg}"),
-                context: format!("race freedom, context #{ci}"),
-            })),
-            Err(MachineError::Replay(e)) => Case::Failed(Box::new(LayerError::Mismatch {
-                expected: "a race-free run".to_owned(),
-                found: format!("replay stuck: {e}"),
-                context: format!("race freedom, context #{ci}"),
-            })),
-            Err(e) => Case::Failed(Box::new(LayerError::Machine(e))),
+            Err(MachineError::Stuck(msg)) => fail(
+                format!("stuck: {msg}"),
+                LayerError::Mismatch {
+                    expected: "a race-free run".to_owned(),
+                    found: format!("stuck: {msg}"),
+                    context: format!("race freedom, context #{ci}"),
+                },
+            ),
+            Err(MachineError::Replay(e)) => fail(
+                format!("replay stuck: {e}"),
+                LayerError::Mismatch {
+                    expected: "a race-free run".to_owned(),
+                    found: format!("replay stuck: {e}"),
+                    context: format!("race freedom, context #{ci}"),
+                },
+            ),
+            Err(e) => {
+                let reason = format!("machine failure: {e}");
+                fail(reason, LayerError::Machine(e))
+            }
         }
     };
-    let slots = ccal_core::par::run_cases(
-        contexts.len(),
-        ccal_core::par::default_workers(),
-        run_case,
-        |c| matches!(c, Case::Failed(_)),
-    );
+    let slots = ccal_core::par::run_cases(contexts.len(), workers, run_case, |c| {
+        matches!(c, Case::Failed(_))
+    });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

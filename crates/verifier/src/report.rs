@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use ccal_core::calculus::{Certificate, CertifiedLayer, Obligation, Rule};
+use ccal_core::forensics::ShrinkNote;
 
 /// One named section of the report (typically one object or theorem).
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct ReportSection {
     pub judgment: Option<String>,
     /// Obligations discharged in this section.
     pub obligations: Vec<Obligation>,
+    /// Shrink accounting for counterexamples minimized while this section
+    /// was checked (empty for passing sections).
+    pub forensics: Vec<ShrinkNote>,
 }
 
 /// A whole-system verification report.
@@ -41,6 +45,7 @@ impl VerificationReport {
             title: title.to_owned(),
             judgment: Some(layer.judgment()),
             obligations: layer.certificate.obligations().to_vec(),
+            forensics: layer.certificate.shrink_notes().to_vec(),
         });
         self
     }
@@ -51,6 +56,7 @@ impl VerificationReport {
             title: title.to_owned(),
             judgment: None,
             obligations: certificate.obligations().to_vec(),
+            forensics: certificate.shrink_notes().to_vec(),
         });
         self
     }
@@ -62,6 +68,19 @@ impl VerificationReport {
             title: title.to_owned(),
             judgment: None,
             obligations,
+            forensics: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a failure-forensics section: shrink notes produced while
+    /// minimizing counterexamples into trace artifacts.
+    pub fn with_forensics(mut self, title: &str, notes: Vec<ShrinkNote>) -> Self {
+        self.sections.push(ReportSection {
+            title: title.to_owned(),
+            judgment: None,
+            obligations: Vec::new(),
+            forensics: notes,
         });
         self
     }
@@ -106,6 +125,9 @@ impl fmt::Display for VerificationReport {
             for o in &s.obligations {
                 writeln!(f, "  {o}")?;
             }
+            for n in &s.forensics {
+                writeln!(f, "  {n}")?;
+            }
         }
         writeln!(f, "\nby rule:")?;
         for (rule, n) in self.by_rule() {
@@ -148,6 +170,24 @@ mod tests {
         let by_rule = report.by_rule();
         assert_eq!(by_rule[&Rule::Empty], 1);
         assert_eq!(by_rule[&Rule::Soundness], 1);
+    }
+
+    #[test]
+    fn report_renders_forensics_sections() {
+        let report = VerificationReport::new().with_forensics(
+            "shrunk counterexamples",
+            vec![ShrinkNote {
+                checker: "sim".into(),
+                object: "scratch-sensitive".into(),
+                original_steps: 40,
+                minimized_steps: 5,
+                iterations: 63,
+                artifact: "forensics/sim-scratch-sensitive-deadbeef.json".into(),
+            }],
+        );
+        let s = report.to_string();
+        assert!(s.contains("[shrunk counterexamples]"));
+        assert!(s.contains("40 → 5 steps"));
     }
 
     #[test]

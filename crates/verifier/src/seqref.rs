@@ -69,6 +69,38 @@ pub fn check_sequence_refinement_por(
     fuel: u64,
     por: bool,
 ) -> Result<Obligation, LayerError> {
+    check_sequence_refinement_tuned(
+        impl_iface,
+        spec_iface,
+        relation,
+        pid,
+        contexts,
+        scripts,
+        fuel,
+        ccal_core::par::default_workers(),
+        por,
+    )
+}
+
+/// [`check_sequence_refinement_por`] with an explicit worker count — `1`
+/// explores the grid serially on the calling thread, the reference
+/// behavior the forensics replay gate uses for bit-identical reproduction.
+///
+/// # Errors
+///
+/// As [`check_sequence_refinement`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_sequence_refinement_tuned(
+    impl_iface: &LayerInterface,
+    spec_iface: &LayerInterface,
+    relation: &SimRelation,
+    pid: Pid,
+    contexts: &[EnvContext],
+    scripts: &[OpScript],
+    fuel: u64,
+    workers: usize,
+    por: bool,
+) -> Result<Obligation, LayerError> {
     // The (context × script) grid is explored on the shared work queue and
     // folded in case order — same counts and first failure as serially.
     #[allow(clippy::items_after_statements)]
@@ -88,20 +120,40 @@ pub fn check_sequence_refinement_por(
         let script = &scripts[si];
         let mut impl_machine =
             LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
+            if ccal_core::forensics::capturing() {
+                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
+                    checker: "seqref",
+                    case_index: idx,
+                    ctx_index: ci,
+                    detail: format!("context #{ci}, script #{si}"),
+                    log: log.clone(),
+                    reason,
+                });
+            }
+            Case::Failed(Box::new(err))
+        };
         let mut impl_rets = Vec::with_capacity(script.len());
         for (name, args) in script {
             match impl_machine.call_prim(name, args) {
                 Ok(v) => impl_rets.push(v),
                 Err(e) if e.is_invalid_context() => return Case::Skipped,
-                Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+                Err(e) => {
+                    let reason = format!("impl machine failure: {e}");
+                    return fail(reason, &impl_machine.log, LayerError::Machine(e));
+                }
             }
         }
         let Some(expected) = relation.abstracted(&impl_machine.log) else {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: format!("log in domain of {}", relation.name()),
-                found: impl_machine.log.to_string(),
-                context: format!("sequence refinement, context #{ci}, script #{si}"),
-            }));
+            return fail(
+                format!("log not in domain of {}", relation.name()),
+                &impl_machine.log,
+                LayerError::Mismatch {
+                    expected: format!("log in domain of {}", relation.name()),
+                    found: impl_machine.log.to_string(),
+                    context: format!("sequence refinement, context #{ci}, script #{si}"),
+                },
+            );
         };
         let mut spec_machine =
             LayerMachine::new(spec_iface.clone(), pid, replay_env(&expected, pid)).with_fuel(fuel);
@@ -110,33 +162,41 @@ pub fn check_sequence_refinement_por(
             match spec_machine.call_prim(name, args) {
                 Ok(v) => spec_rets.push(v),
                 Err(e) if e.is_invalid_context() => return Case::Skipped,
-                Err(e) => return Case::Failed(Box::new(LayerError::Machine(e))),
+                Err(e) => {
+                    let reason = format!("spec machine failure: {e}");
+                    return fail(reason, &impl_machine.log, LayerError::Machine(e));
+                }
             }
         }
         if impl_rets != spec_rets {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: format!("{spec_rets:?} (spec)"),
-                found: format!("{impl_rets:?} (impl)"),
-                context: format!("sequence refinement rets, context #{ci}, script #{si}"),
-            }));
+            return fail(
+                format!("rets diverge: impl {impl_rets:?} vs spec {spec_rets:?}"),
+                &impl_machine.log,
+                LayerError::Mismatch {
+                    expected: format!("{spec_rets:?} (spec)"),
+                    found: format!("{impl_rets:?} (impl)"),
+                    context: format!("sequence refinement rets, context #{ci}, script #{si}"),
+                },
+            );
         }
         // `expected` already is the abstraction of the impl log, so
         // R(impl, spec) reduces to one comparison (no re-abstraction).
         if expected != spec_machine.log.without_sched() {
-            return Case::Failed(Box::new(LayerError::Mismatch {
-                expected: spec_machine.log.to_string(),
-                found: impl_machine.log.to_string(),
-                context: format!("sequence refinement logs, context #{ci}, script #{si}"),
-            }));
+            return fail(
+                "final logs diverge through the relation".to_owned(),
+                &impl_machine.log,
+                LayerError::Mismatch {
+                    expected: spec_machine.log.to_string(),
+                    found: impl_machine.log.to_string(),
+                    context: format!("sequence refinement logs, context #{ci}, script #{si}"),
+                },
+            );
         }
         Case::Checked
     };
-    let slots = ccal_core::par::run_cases(
-        contexts.len() * nscripts,
-        ccal_core::par::default_workers(),
-        run_case,
-        |c| matches!(c, Case::Failed(_)),
-    );
+    let slots = ccal_core::par::run_cases(contexts.len() * nscripts, workers, run_case, |c| {
+        matches!(c, Case::Failed(_))
+    });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

@@ -29,6 +29,12 @@ cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== forensics: shrink/replay selftest (all five checkers) =="
+cargo run -q --release -p ccal-forensics --bin ccal-replay -- --selftest
+
+echo "== forensics: golden corpus replay =="
+cargo run -q --release -p ccal-forensics --bin ccal-replay -- forensics/corpus
+
 echo "== bench smoke (no criterion): composition_scaling --quick =="
 cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
 

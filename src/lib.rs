@@ -12,6 +12,7 @@
 pub use ccal_clightx as clightx;
 pub use ccal_compcertx as compcertx;
 pub use ccal_core as core;
+pub use ccal_forensics as forensics;
 pub use ccal_machine as machine;
 pub use ccal_objects as objects;
 pub use ccal_verifier as verifier;

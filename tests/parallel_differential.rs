@@ -119,6 +119,92 @@ fn first_failure_is_selected_by_case_index_in_every_configuration() {
     }
 }
 
+/// The work queue hands out cases in chunks of 16; a first failure that
+/// sits *beyond* the first chunk, with more failures straddling later
+/// chunk boundaries, must still be selected by least case index in every
+/// configuration (a worker that grabs a later chunk can reach its failure
+/// before the earlier chunk's failure is even run).
+#[test]
+fn first_failure_beyond_the_first_chunk_is_stable() {
+    let lower = LayerInterface::builder("LD2")
+        .prim(PrimSpec::atomic("op", |ctx, args| {
+            ctx.emit(EventKind::Prim("op".into(), vec![args[0].clone()]));
+            Ok(args[0].clone())
+        }))
+        .build();
+    let upper = LayerInterface::builder("UD2")
+        .prim(PrimSpec::atomic("op", |ctx, args| {
+            ctx.emit(EventKind::Prim("op".into(), vec![args[0].clone()]));
+            let n = args[0].as_int()?;
+            Ok(Val::Int(if n >= 17 { n + 1 } else { n }))
+        }))
+        .build();
+    let contexts = ContextGen::new(vec![Pid(0), Pid(1)])
+        .with_schedule_len(1)
+        .contexts();
+    let args: Vec<Vec<Val>> = (0..20).map(|i| vec![Val::Int(i)]).collect();
+    // Failing case indices: 17..20 per context — the first (17) is inside
+    // the second chunk, the rest straddle every later chunk boundary.
+    assert!(contexts.len() * args.len() > 32, "grid must span 3+ chunks");
+    let mut reference: Option<String> = None;
+    for workers in [1, 2, 4, 8] {
+        let opts = SimOptions::default().with_workers(workers).with_por(false);
+        let failure = check_prim_refinement(
+            &lower, "op", &upper, "op", &SimRelation::identity(), Pid(0), &contexts, &args, &opts,
+        )
+        .expect_err("the refinement is broken");
+        assert!(
+            failure.case.starts_with("context #0, args #17"),
+            "workers={workers}: first failure must be case 17, got {}",
+            failure.case
+        );
+        let rendered = format!("{failure}");
+        match &reference {
+            None => reference = Some(rendered),
+            Some(r) => assert_eq!(&rendered, r, "workers={workers} drifted"),
+        }
+    }
+}
+
+/// Forensics captures under a parallel run: workers may record failures
+/// from later chunks before abandonment propagates, but the *index-least*
+/// capture must be exactly the failure the serial checker reports — that
+/// is the witness the shrink/replay pipeline reifies.
+#[test]
+fn parallel_capture_yields_the_index_least_failing_case() {
+    use ccal::core::forensics::CaptureScope;
+    use ccal::objects::buggy;
+
+    let check = |workers: usize| {
+        check_prim_refinement(
+            &buggy::scratch_sensitive_lower(),
+            "op",
+            &buggy::scratch_sensitive_upper(),
+            "op",
+            &SimRelation::identity(),
+            Pid(0),
+            &buggy::scratch_sensitive_contexts(),
+            &[vec![]],
+            &SimOptions::default().with_workers(workers).with_por(false),
+        )
+        .expect_err("the fixture is buggy")
+    };
+    let scope = CaptureScope::begin();
+    let serial_failure = check(1);
+    let serial = scope.take();
+    let scope = CaptureScope::begin();
+    let parallel_failure = check(4);
+    let parallel = scope.take();
+    let first_serial = serial.first().expect("serial run captured its failure");
+    let first_parallel = parallel.first().expect("parallel run captured its failure");
+    assert_eq!(first_serial.case_index, first_parallel.case_index);
+    assert_eq!(first_serial.detail, first_parallel.detail);
+    assert_eq!(first_serial.reason, first_parallel.reason);
+    assert_eq!(first_serial.log, first_parallel.log);
+    assert_eq!(first_serial.detail, serial_failure.case);
+    assert_eq!(format!("{serial_failure}"), format!("{parallel_failure}"));
+}
+
 /// Dedup explores each distinct replayed upper environment once, yet the
 /// evidence it reports — case counts and probe logs — must be exactly
 /// what a dedup-free exploration reports (Fig. 3 walkthrough stack).
