@@ -16,4 +16,5 @@ fn main() {
     println!("{}", ccal_bench::scaling::render_scaling(lens));
     let por_lens: &[usize] = if quick { &[3] } else { &[3, 4, 5] };
     println!("{}", ccal_bench::scaling::render_por(por_lens));
+    println!("{}", ccal_bench::scaling::render_por_widened(por_lens));
 }

@@ -1,0 +1,44 @@
+//! Experiment B5: prefix-sharing lower-run exploration — the schedule
+//! grid organized as a prefix trie so each lower-machine run is executed
+//! once per *distinct consumed schedule prefix* instead of once per grid
+//! cell (see `ccal_core::prefix` and DESIGN.md).
+//!
+//! Run with `cargo bench -p ccal-bench --bench prefix_sharing`; pass
+//! `-- --quick` (or set `CCAL_BENCH_QUICK=1`) for a fast smoke run.
+//! Works with or without the `criterion` feature — it uses the engine's
+//! atom-step counters plus plain wall-clock timing either way.
+//!
+//! This binary owns its process, so the process-global step counters are
+//! exact; it doubles as the acceptance gate for the optimisation: at
+//! `L = 5` the atom-steps executed with sharing on must be at most half
+//! of the steps with sharing off. The gate is counter-based, not
+//! wall-clock-based, so it holds on single-core and noisy hosts.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("CCAL_BENCH_QUICK").is_some();
+    let lens: &[usize] = if quick { &[3, 5] } else { &[3, 4, 5] };
+    let rows: Vec<_> = lens
+        .iter()
+        .map(|&l| ccal_bench::scaling::prefix_row(l))
+        .collect();
+    println!("{}", ccal_bench::scaling::render_prefix_rows(&rows));
+    let gate = rows
+        .iter()
+        .find(|r| r.schedule_len == 5)
+        .expect("L=5 row present");
+    assert!(
+        gate.step_ratio() <= 0.5,
+        "B5 acceptance: sharing must at least halve the atom-steps at L=5, \
+         got {} of {} ({:.2})",
+        gate.steps_shared,
+        gate.steps_full,
+        gate.step_ratio()
+    );
+    println!(
+        "B5 acceptance: L=5 atom-step ratio {:.3} <= 0.5 (shared {} vs full {})",
+        gate.step_ratio(),
+        gate.steps_shared,
+        gate.steps_full
+    );
+}

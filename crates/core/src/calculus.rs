@@ -368,6 +368,15 @@ impl CheckOptions {
         self
     }
 
+    /// Enables or disables prefix-sharing of lower-machine runs across
+    /// contexts with common consumed schedule prefixes (see
+    /// [`crate::prefix`]).
+    #[must_use]
+    pub fn with_prefix_share(mut self, prefix_share: bool) -> Self {
+        self.sim.prefix_share = prefix_share;
+        self
+    }
+
     fn sim_for(&self, prim: &str) -> SimOptions {
         let mut sim = self.sim.clone();
         if let Some(setup) = self.setups.get(prim) {

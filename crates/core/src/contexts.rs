@@ -12,6 +12,7 @@ use std::sync::Arc;
 use crate::env::EnvContext;
 use crate::id::Pid;
 use crate::por::{self, PidIndependence};
+use crate::prefix::{self, ScheduleKey};
 use crate::strategy::{ScriptScheduler, Strategy};
 
 /// A generator of environment contexts.
@@ -35,6 +36,12 @@ pub struct ContextGen {
     max_contexts: usize,
     fuel: u64,
     por: bool,
+    /// The prefix-sharing family id: every context minted by this generator
+    /// instance carries it in its [`ScheduleKey`], so lower-run outcomes
+    /// never cross generator boundaries (different players, domain, or
+    /// fuel). Cloning the generator keeps the family — a clone mints
+    /// contexts identical to the original's.
+    family: u64,
 }
 
 impl ContextGen {
@@ -54,20 +61,27 @@ impl ContextGen {
             max_contexts: 256,
             fuel: EnvContext::DEFAULT_FUEL,
             por: por::por_enabled(),
+            family: prefix::next_family(),
         }
     }
 
     /// Sets the strategy of environment participant `pid` in every
-    /// generated context.
+    /// generated context. Starts a fresh prefix-sharing family: contexts
+    /// minted before and after differ in behavior, so their lower-run
+    /// outcomes must not be shared.
     pub fn with_player(mut self, pid: Pid, strategy: Arc<dyn Strategy>) -> Self {
         self.players.insert(pid, strategy);
+        self.family = prefix::next_family();
         self
     }
 
     /// Sets the enumerated schedule prefix length. The number of contexts
-    /// is `|domain|^len` before capping.
+    /// is `|domain|^len` before capping. Starts a fresh prefix-sharing
+    /// family (scripts of different lengths clamp consumed depths
+    /// differently).
     pub fn with_schedule_len(mut self, len: usize) -> Self {
         self.schedule_len = len;
+        self.family = prefix::next_family();
         self
     }
 
@@ -79,8 +93,11 @@ impl ContextGen {
     }
 
     /// Sets the per-query fuel (fairness bound) of generated contexts.
+    /// Starts a fresh prefix-sharing family (the fuel bound is part of a
+    /// run's behavior).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self.family = prefix::next_family();
         self
     }
 
@@ -113,8 +130,11 @@ impl ContextGen {
     }
 
     fn make_context(&self, script: Vec<Pid>) -> EnvContext {
+        let key = ScheduleKey::new(self.family, script.clone(), self.domain.len());
         let scheduler = ScriptScheduler::new(script, self.domain.clone());
-        let mut env = EnvContext::new(Arc::new(scheduler)).with_fuel(self.fuel);
+        let mut env = EnvContext::new(Arc::new(scheduler))
+            .with_fuel(self.fuel)
+            .with_schedule_key(key);
         for (pid, s) in &self.players {
             env = env.with_player(*pid, s.clone());
         }

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use crate::event::EventKind;
 use crate::id::{Pid, PidSet};
 use crate::log::Log;
+use crate::prefix::ScheduleKey;
 use crate::strategy::{IdleStrategy, Strategy, StrategyMove};
 
 /// Error produced while querying an environment context.
@@ -82,6 +83,11 @@ pub struct EnvContext {
     /// context with a smaller grid index (see [`crate::por`]); checkers
     /// running with partial-order reduction enabled skip it.
     por_equivalent: bool,
+    /// The schedule script identity for prefix-sharing (see
+    /// [`crate::prefix`]); set only by [`crate::contexts::ContextGen`].
+    /// Contexts without a key — hand-built ones, scripted replay contexts —
+    /// structurally bypass the prefix memo.
+    schedule_key: Option<Arc<ScheduleKey>>,
 }
 
 impl EnvContext {
@@ -95,7 +101,25 @@ impl EnvContext {
             players: Arc::new(BTreeMap::new()),
             fuel: Self::DEFAULT_FUEL,
             por_equivalent: false,
+            schedule_key: None,
         }
+    }
+
+    /// Attaches the schedule script identity that lets checkers share
+    /// lower runs across contexts with common consumed prefixes (see
+    /// [`crate::prefix`]). Only [`crate::contexts::ContextGen`] should set
+    /// this: the key certifies that the context's scheduler is a
+    /// [`crate::strategy::ScriptScheduler`] over exactly this script and
+    /// that contexts of one family differ *only* in their scripts.
+    pub fn with_schedule_key(mut self, key: ScheduleKey) -> Self {
+        self.schedule_key = Some(Arc::new(key));
+        self
+    }
+
+    /// The schedule script identity, if this context came from a generator
+    /// grid.
+    pub fn schedule_key(&self) -> Option<&ScheduleKey> {
+        self.schedule_key.as_deref()
     }
 
     /// Adds (or replaces) the strategy of environment participant `pid`.

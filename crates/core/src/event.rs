@@ -12,7 +12,9 @@
 //! variables, IPC) plus a generic [`EventKind::Prim`] escape hatch for
 //! client-defined primitives such as `f`, `g` and `foo` of Fig. 3.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 use crate::id::{Loc, Pid, QId};
 use crate::val::Val;
@@ -112,6 +114,68 @@ impl Footprint {
     }
 }
 
+/// How the footprint of a generic [`EventKind::Prim`] event with a given
+/// name is derived. Declared by object authors via
+/// [`declare_prim_footprint`]; undeclared primitives stay
+/// [`PrimFootprint::Global`], the conservative default.
+///
+/// A declaration is a *soundness claim* about the abstraction the event
+/// lives under: the replay functions and simulation relations consuming
+/// the event must depend only on the declared resources (and on the
+/// per-author event order, which the independence relation always
+/// preserves). In exchange, the partial-order reduction's alphabet gets
+/// finer and more context pairs become trace-equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimFootprint {
+    /// The footprints are exactly the [`Val::Loc`] arguments of the event
+    /// — e.g. `ql_take(b)` touches `b`. An event with no location
+    /// arguments has an *empty* footprint: it touches no shared resource
+    /// and commutes (footprint-wise) with everything, like the pure `f`
+    /// and `g` calls of Fig. 3, which the `R₂` abstraction buffers
+    /// per-author and erases.
+    Args,
+    /// A fixed footprint set, independent of the event's arguments.
+    Fixed(Vec<Footprint>),
+    /// Everything — the effect cannot be localized.
+    Global,
+}
+
+fn prim_footprint_registry() -> &'static Mutex<HashMap<String, PrimFootprint>> {
+    static REG: OnceLock<Mutex<HashMap<String, PrimFootprint>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Declares how [`EventKind::Prim`] events named `name` derive their
+/// footprint (process-global, like the relation-composition cache:
+/// primitive names identify their objects across the toolkit).
+/// Conflicting redeclarations widen to [`PrimFootprint::Global`] — two
+/// objects disagreeing about a name means neither claim can be trusted.
+/// Redeclaring the same derivation is idempotent.
+pub fn declare_prim_footprint(name: &str, fp: PrimFootprint) {
+    let mut reg = prim_footprint_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match reg.get(name) {
+        Some(existing) if *existing != fp => {
+            reg.insert(name.to_owned(), PrimFootprint::Global);
+        }
+        _ => {
+            reg.insert(name.to_owned(), fp);
+        }
+    }
+}
+
+/// The declared footprint derivation for primitive `name`
+/// ([`PrimFootprint::Global`] when undeclared).
+pub fn prim_footprint(name: &str) -> PrimFootprint {
+    prim_footprint_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+        .cloned()
+        .unwrap_or(PrimFootprint::Global)
+}
+
 impl EventKind {
     /// Whether this kind is a scheduling transition.
     pub fn is_sched(&self) -> bool {
@@ -120,7 +184,9 @@ impl EventKind {
 
     /// The shared resources this event touches. Conservative: anything
     /// whose effect cannot be pinned to a location or queue reports
-    /// [`Footprint::Global`].
+    /// [`Footprint::Global`]. Generic [`EventKind::Prim`] events consult
+    /// the [`declare_prim_footprint`] registry, so object authors can
+    /// localize (or empty) the footprint of their named primitives.
     pub fn footprints(&self) -> Vec<Footprint> {
         use EventKind::*;
         match self {
@@ -130,7 +196,18 @@ impl EventKind {
             EnQ(q, _) | DeQ(q) | Wakeup(q) | CvWait(q) | CvSignal(q) | CvBroadcast(q)
             | IpcSend(q, _) | IpcRecv(q) => vec![Footprint::Queue(*q)],
             Sleep(q, lk) => vec![Footprint::Queue(*q), Footprint::Loc(*lk)],
-            HwSched(_) | Yield | Prim(..) => vec![Footprint::Global],
+            HwSched(_) | Yield => vec![Footprint::Global],
+            Prim(name, args) => match prim_footprint(name) {
+                PrimFootprint::Global => vec![Footprint::Global],
+                PrimFootprint::Fixed(fs) => fs,
+                PrimFootprint::Args => args
+                    .iter()
+                    .filter_map(|v| match v {
+                        Val::Loc(b) => Some(Footprint::Loc(*b)),
+                        _ => None,
+                    })
+                    .collect(),
+            },
         }
     }
 
@@ -323,6 +400,58 @@ mod tests {
         let fs = EventKind::Sleep(QId(1), Loc(2)).footprints();
         assert!(fs.contains(&Footprint::Loc(Loc(2))));
         assert!(fs.contains(&Footprint::Queue(QId(1))));
+    }
+
+    #[test]
+    fn declared_arg_footprints_localize_prims() {
+        // Names are unique to this test: the registry is process-global.
+        declare_prim_footprint("test_fp_take", PrimFootprint::Args);
+        let take0 = Event::prim(Pid(1), "test_fp_take", vec![Val::Loc(Loc(0))]);
+        let pull1 = Event::new(Pid(2), EventKind::Pull(Loc(1)));
+        let pull0 = Event::new(Pid(2), EventKind::Pull(Loc(0)));
+        assert!(independent(&take0, &pull1), "disjoint locations commute");
+        assert!(!independent(&take0, &pull0), "same location conflicts");
+        assert_eq!(
+            take0.kind.footprints(),
+            vec![Footprint::Loc(Loc(0))],
+            "non-Loc args contribute nothing"
+        );
+    }
+
+    #[test]
+    fn empty_arg_footprints_commute_with_everything_but_sched() {
+        declare_prim_footprint("test_fp_pure", PrimFootprint::Args);
+        let pure = Event::prim(Pid(1), "test_fp_pure", vec![]);
+        assert!(pure.kind.footprints().is_empty());
+        let pull = Event::new(Pid(2), EventKind::Pull(Loc(9)));
+        let acq = Event::new(Pid(2), EventKind::Acq(Loc(0)));
+        assert!(independent(&pure, &pull));
+        assert!(independent(&pure, &acq), "pure prims are not lock-ordered");
+        assert!(!independent(&pure, &Event::sched(Pid(2))));
+    }
+
+    #[test]
+    fn conflicting_declarations_widen_to_global() {
+        declare_prim_footprint("test_fp_conflict", PrimFootprint::Args);
+        declare_prim_footprint(
+            "test_fp_conflict",
+            PrimFootprint::Fixed(vec![Footprint::Loc(Loc(3))]),
+        );
+        assert_eq!(prim_footprint("test_fp_conflict"), PrimFootprint::Global);
+        // Idempotent redeclaration does not widen.
+        declare_prim_footprint("test_fp_stable", PrimFootprint::Args);
+        declare_prim_footprint("test_fp_stable", PrimFootprint::Args);
+        assert_eq!(prim_footprint("test_fp_stable"), PrimFootprint::Args);
+    }
+
+    #[test]
+    fn undeclared_prims_stay_global() {
+        assert_eq!(
+            prim_footprint("test_fp_never_declared"),
+            PrimFootprint::Global
+        );
+        let e = Event::prim(Pid(0), "test_fp_never_declared", vec![]);
+        assert_eq!(e.kind.footprints(), vec![Footprint::Global]);
     }
 
     #[test]

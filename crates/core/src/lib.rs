@@ -84,6 +84,7 @@ pub mod machine;
 pub mod module;
 pub mod par;
 pub mod por;
+pub mod prefix;
 pub mod refine;
 pub mod rely;
 pub mod replay;
@@ -101,7 +102,9 @@ pub mod prelude {
     pub use crate::conc::{ConcurrentMachine, ConcurrentOutcome, ThreadScript};
     pub use crate::contexts::ContextGen;
     pub use crate::env::EnvContext;
-    pub use crate::event::{Event, EventKind};
+    pub use crate::event::{
+        declare_prim_footprint, prim_footprint, Event, EventKind, Footprint, PrimFootprint,
+    };
     pub use crate::forensics::{CaptureScope, FailingCase, ShrinkNote};
     pub use crate::id::{Loc, Pid, PidSet, QId};
     pub use crate::layer::{LayerInterface, PrimCtx, PrimRun, PrimSpec, PrimStep, SubCall};
@@ -109,6 +112,7 @@ pub mod prelude {
     pub use crate::machine::{LayerMachine, MachineError};
     pub use crate::module::{Lang, Module, ModuleFn};
     pub use crate::por::{por_enabled, PidIndependence};
+    pub use crate::prefix::{prefix_share_enabled, PrefixMemo, ScheduleKey};
     pub use crate::refine::{behaviors, check_contextual_refinement, ClientProgram};
     pub use crate::rely::{Conditions, Invariant, ProbeSuite, RelyGuarantee};
     pub use crate::replay::{

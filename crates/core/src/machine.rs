@@ -152,6 +152,11 @@ impl From<EnvError> for MachineError {
 
 /// The layer machine for one focused participant over an interface `L[i]`,
 /// parameterized by an environment context `E`.
+///
+/// Cloning is cheap — every heavy field is `Arc`/COW-backed — which is what
+/// makes [`LayerMachine::fork`] a viable snapshot primitive for the
+/// prefix-sharing exploration ([`crate::prefix`]).
+#[derive(Clone)]
 pub struct LayerMachine {
     iface: LayerInterface,
     /// The focused participant `i`.
@@ -214,6 +219,38 @@ impl LayerMachine {
     /// Whether the machine is currently in the critical state (§2).
     pub fn in_critical(&self) -> bool {
         self.iface.is_critical(self.pid, &self.log)
+    }
+
+    /// Snapshots the machine at a call boundary: a cheap O(alive-handles)
+    /// clone of the Arc/COW-backed state (interface, environment, abstract
+    /// state, log, remaining fuel). Runs continued from the fork and from
+    /// the original diverge only through the events their environments
+    /// append — the mechanism behind sharing a common schedule prefix
+    /// across grid contexts ([`crate::prefix`]).
+    ///
+    /// Forking is only meaningful *between* primitive calls: an in-flight
+    /// [`PrimRun`] lives on the [`LayerMachine::drive`] stack, outside the
+    /// machine state, so a snapshot never captures half a primitive.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// [`LayerMachine::fork`] under a different environment context. The
+    /// caller asserts that `env` agrees with the snapshot's context on the
+    /// schedule prefix already consumed in the log — then the continued run
+    /// is exactly the run the new context would have produced from scratch,
+    /// because strategies are pure functions of the log.
+    pub fn fork_with_env(&self, env: EnvContext) -> Self {
+        let mut m = self.clone();
+        m.env = env;
+        m
+    }
+
+    /// Machine steps executed so far (fuel consumed out of the budget) —
+    /// the work proxy the prefix-sharing accounting records per executed
+    /// lower run.
+    pub fn steps_taken(&self) -> u64 {
+        self.budget - self.fuel
     }
 
     /// Consumes one unit of fuel.

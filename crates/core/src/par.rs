@@ -95,6 +95,48 @@ where
     R: Fn(usize) -> T + Sync,
     S: Fn(&T) -> bool + Sync,
 {
+    run_cases_ordered(total, workers, None, run, is_terminal)
+}
+
+/// [`run_cases`] with an optional *claim-order permutation* for the
+/// parallel path: when `order` is `Some`, the `j`-th claimed queue position
+/// computes case `order[j]` instead of case `j`. The prefix-sharing
+/// exploration passes the digit-reversed subtree order
+/// ([`crate::prefix::subtree_case_order`]) so that a claimed chunk is a
+/// subtree of the schedule-prefix trie rather than a stripe across all
+/// subtrees.
+///
+/// The serial path ignores `order` and always explores in ascending index
+/// order — bit-identical work set to the reference run, including which
+/// cases past a failure are never computed.
+///
+/// Determinism contract: unchanged. Claimed *indices* are no longer
+/// monotone under a permutation, so a worker that sees an index past the
+/// terminal minimum skips that one index (`continue`) instead of
+/// abandoning the queue — the skipped index is strictly greater than the
+/// final terminal minimum, every position is still claimed by someone, and
+/// therefore every index up to the smallest terminal index is `Some`.
+///
+/// # Panics
+///
+/// Panics if `order` is provided with a length other than `total` (indices
+/// out of range panic on slot access). It must be a permutation of
+/// `0..total` for the contract to hold.
+pub fn run_cases_ordered<T, R, S>(
+    total: usize,
+    workers: usize,
+    order: Option<&[usize]>,
+    run: R,
+    is_terminal: S,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    R: Fn(usize) -> T + Sync,
+    S: Fn(&T) -> bool + Sync,
+{
+    if let Some(order) = order {
+        assert_eq!(order.len(), total, "claim order must cover the grid");
+    }
     let workers = workers.clamp(1, total.max(1));
     if workers <= 1 {
         let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
@@ -119,13 +161,20 @@ where
                 if start >= total {
                     break;
                 }
-                for i in start..(start + CHUNK).min(total) {
-                    // An index past the terminal minimum is abandoned —
-                    // and with it the whole worker: every index it could
-                    // still claim is even larger (chunk items ascend and
-                    // chunk starts only grow), so nothing below the final
-                    // terminal minimum is ever skipped.
+                for j in start..(start + CHUNK).min(total) {
+                    let i = order.map_or(j, |o| o[j]);
                     if i > min_terminal.load(Ordering::Relaxed) {
+                        if order.is_some() {
+                            // Permuted indices are not monotone: skip just
+                            // this one (it is larger than the final
+                            // terminal minimum) and keep claiming.
+                            continue;
+                        }
+                        // Unpermuted, an index past the terminal minimum
+                        // abandons the whole worker: every index it could
+                        // still claim is even larger (chunk items ascend
+                        // and chunk starts only grow), so nothing below
+                        // the final terminal minimum is ever skipped.
                         break 'claim;
                     }
                     let outcome = run(i);
@@ -224,6 +273,54 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         assert!(run_cases(0, 4, |i| i, |_| false).is_empty());
+    }
+
+    #[test]
+    fn permuted_claim_order_keeps_the_first_failure_invariant() {
+        // Reverse claim order: the failure-rich tail is computed first,
+        // yet the fold must still find the index-least failure with
+        // everything below it present.
+        let run = |i: usize| {
+            if matches!(i, 23 | 61 | 88) {
+                -(i as i32)
+            } else {
+                i as i32
+            }
+        };
+        let order: Vec<usize> = (0..100).rev().collect();
+        for workers in [2, 4, 8] {
+            let slots = run_cases_ordered(100, workers, Some(&order), run, |v| *v < 0);
+            assert!(slots[..23].iter().all(Option::is_some), "workers={workers}");
+            let (seen, failure) = fold_first_failure(slots);
+            assert_eq!(failure, Some(-23), "workers={workers}");
+            assert_eq!(seen, (0..23).collect::<Vec<i32>>());
+        }
+    }
+
+    #[test]
+    fn permuted_order_without_failures_computes_every_case() {
+        let order: Vec<usize> = (0..50).map(|j| (j * 7) % 50).collect();
+        let slots = run_cases_ordered(50, 4, Some(&order), |i| i, |_| false);
+        assert_eq!(slots.len(), 50);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, Some(i));
+        }
+    }
+
+    #[test]
+    fn serial_path_ignores_the_permutation() {
+        // Serial exploration stays in index order: cases after the first
+        // failure are never computed, no matter the claim order.
+        let order: Vec<usize> = (0..10).rev().collect();
+        let slots = run_cases_ordered(
+            10,
+            1,
+            Some(&order),
+            |i| if i == 3 { -1 } else { i as i32 },
+            |v| *v < 0,
+        );
+        assert!(slots[..4].iter().all(Option::is_some));
+        assert!(slots[4..].iter().all(Option::is_none));
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Prefix-sharing lower-run exploration.
+//!
+//! The bounded checkers enumerate a `|D|^len` grid of schedule prefixes
+//! ([`crate::contexts::ContextGen`]) and re-run the concrete (lower)
+//! machine for every context. But a run under a [`ScriptScheduler`] is a
+//! deterministic function of the *consumed* part of its script: every
+//! strategy is a pure function of the global log (§2), and the scheduler
+//! reads `script[k]` only at the `k`-th scheduling event. Two grid scripts
+//! that agree on the first `k` slots therefore produce bit-identical runs
+//! whenever the run consumes at most `k` scheduling events — most of the
+//! grid is pure recomputation of shared prefixes.
+//!
+//! [`PrefixMemo`] exploits this: after a lower run executes, its outcome
+//! (log, return values, error — whatever the checker folds over) is cached
+//! under the schedule prefix it actually consumed, organizing the grid as
+//! a prefix trie keyed by consumed depth. Any later case whose script
+//! shares that consumed prefix reuses the outcome without re-running the
+//! machine. Because the cached value is the *complete* per-case outcome,
+//! evidence (case counts, probes, index-least first failure) stays
+//! bit-identical to the unshared exploration, independent of visit order.
+//!
+//! Soundness of the clamp: when a run consumes *more* scheduling events
+//! than the script's length (falling into the round-robin tail), the
+//! outcome is cached at the full-script depth — sound because the fallback
+//! is the same pure log function for every context of the grid (same
+//! domain), so two contexts with equal full scripts are equal contexts.
+//!
+//! Only contexts minted by [`crate::contexts::ContextGen`] carry a
+//! [`ScheduleKey`]; hand-built contexts (notably the forensics replay
+//! engine's scripted contexts) have none and structurally bypass the memo.
+//!
+//! `CCAL_PREFIX_SHARE=0` is the process-wide escape hatch, mirroring
+//! `CCAL_POR` ([`crate::por::por_enabled`]).
+//!
+//! [`ScriptScheduler`]: crate::strategy::ScriptScheduler
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::id::Pid;
+
+/// Whether prefix-sharing is enabled for this process.
+///
+/// Controlled by the `CCAL_PREFIX_SHARE` environment variable with the
+/// `CCAL_POR` grammar:
+///
+/// * unset — sharing is on (the default);
+/// * `0` — sharing is off (the escape hatch for differential debugging);
+/// * any other non-negative integer — sharing is on;
+/// * anything else — a warning is printed to stderr once per process and
+///   the variable is ignored (sharing stays on).
+///
+/// The variable is read once and cached for the lifetime of the process.
+pub fn prefix_share_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("CCAL_PREFIX_SHARE") {
+        Ok(v) => parse_share(&v).unwrap_or_else(|| {
+            warn_bad_share_once(&v);
+            true
+        }),
+        Err(_) => true,
+    })
+}
+
+/// Parses a `CCAL_PREFIX_SHARE` value: `Some(false)` for `0`, `Some(true)`
+/// for any other non-negative integer, `None` for anything unparseable.
+fn parse_share(raw: &str) -> Option<bool> {
+    raw.trim().parse::<u64>().ok().map(|n| n != 0)
+}
+
+fn warn_bad_share_once(raw: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "ccal: ignoring unparseable CCAL_PREFIX_SHARE={raw:?} (expected a \
+             non-negative integer; 0 disables prefix sharing)"
+        );
+    });
+}
+
+/// Hands out a fresh family id for a [`crate::contexts::ContextGen`]
+/// instance. Keys from different generators never collide in a
+/// [`PrefixMemo`], so a checker handed a mixed slice of contexts (different
+/// players, domains, or fuel) stays correct — sharing simply does not cross
+/// the family boundary.
+pub fn next_family() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The identity of one grid context's schedule script, attached to
+/// [`crate::env::EnvContext`]s minted by a generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleKey {
+    family: u64,
+    script: Vec<Pid>,
+    domain_len: usize,
+}
+
+impl ScheduleKey {
+    /// Creates a key for a script of one generator family over a domain of
+    /// `domain_len` participants.
+    pub fn new(family: u64, script: Vec<Pid>, domain_len: usize) -> Self {
+        Self {
+            family,
+            script,
+            domain_len,
+        }
+    }
+
+    /// The generator family the script belongs to.
+    pub fn family(&self) -> u64 {
+        self.family
+    }
+
+    /// The schedule script (slot 0 first).
+    pub fn script(&self) -> &[Pid] {
+        &self.script
+    }
+
+    /// The size of the scheduler domain the script draws from.
+    pub fn domain_len(&self) -> usize {
+        self.domain_len
+    }
+}
+
+/// A consumed-prefix outcome memo: per `(family, inner-index)` a trie over
+/// schedule prefixes, stored flat as a map from the consumed prefix to the
+/// cached per-case outcome. `inner` distinguishes sub-cases that share a
+/// context (the argument-vector index in the simulation checker, the script
+/// index in the sequence-refinement checker); checkers with one case per
+/// context pass `0`.
+pub struct PrefixMemo<T> {
+    map: Mutex<HashMap<(u64, usize, Vec<Pid>), T>>,
+}
+
+impl<T: Clone> PrefixMemo<T> {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Looks up the outcome cached for any consumed prefix of `key`'s
+    /// script (including the empty prefix — a run that consumed no
+    /// scheduling events — and the full script). At most one stored prefix
+    /// can apply: a cached entry at depth `d` certifies that runs reading
+    /// those `d` slots consume exactly `d` of them, so a second entry at a
+    /// deeper extension of the same prefix can never be inserted.
+    pub fn lookup(&self, key: &ScheduleKey, inner: usize) -> Option<T> {
+        let map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (0..=key.script.len()).find_map(|d| {
+            map.get(&(key.family, inner, key.script[..d].to_vec()))
+                .cloned()
+        })
+    }
+
+    /// Caches `value` under the prefix of `key`'s script that the run
+    /// actually consumed (`consumed` scheduling events, clamped to the
+    /// script length for runs that outlived their script — see the module
+    /// docs). First insert wins: two workers racing to compute the same
+    /// prefix computed the same deterministic value.
+    pub fn insert(&self, key: &ScheduleKey, inner: usize, consumed: usize, value: T) {
+        let depth = consumed.min(key.script.len());
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry((key.family, inner, key.script[..depth].to_vec()))
+            .or_insert(value);
+    }
+
+    /// Number of cached outcomes (distinct consumed prefixes executed).
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Clone> Default for PrefixMemo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn steps_counter() -> &'static AtomicU64 {
+    static STEPS: AtomicU64 = AtomicU64::new(0);
+    &STEPS
+}
+
+fn shared_counter() -> &'static AtomicU64 {
+    static SHARED: AtomicU64 = AtomicU64::new(0);
+    &SHARED
+}
+
+/// Resets the process-wide lower-run work accounting (both counters).
+/// Benchmarks bracket a checker run with [`steps_reset`] / [`steps_total`]
+/// to measure executed atom-steps; the counters are only meaningful when
+/// the bracketed run is not concurrent with other checker runs.
+pub fn steps_reset() {
+    steps_counter().store(0, Ordering::Relaxed);
+    shared_counter().store(0, Ordering::Relaxed);
+}
+
+/// Total lower-machine atom-steps executed since the last [`steps_reset`].
+pub fn steps_total() -> u64 {
+    steps_counter().load(Ordering::Relaxed)
+}
+
+/// Number of lower runs answered from a [`PrefixMemo`] since the last
+/// [`steps_reset`].
+pub fn shared_total() -> u64 {
+    shared_counter().load(Ordering::Relaxed)
+}
+
+/// Records `n` executed lower-machine atom-steps. Checkers call this once
+/// per *executed* (non-cached) lower run with a work proxy — machine fuel
+/// consumed plus events appended — so the sharing ratio in the benchmarks
+/// counts real machine work, not memo hits.
+pub fn record_steps(n: u64) {
+    steps_counter().fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one lower run answered from the memo instead of executed.
+pub fn record_shared() {
+    shared_counter().fetch_add(1, Ordering::Relaxed);
+}
+
+/// A queue-order permutation for [`crate::par::run_cases_ordered`] that
+/// turns flat chunk claiming into subtree claiming: consecutive queue
+/// positions map to case indices whose schedule scripts share *long*
+/// prefixes (the grid encodes slot 0 as the least significant digit, so
+/// ascending indices share suffixes; digit-reversing the context index
+/// makes a claimed chunk a subtree of the prefix trie). Workers then mostly
+/// extend prefixes they themselves populated, instead of racing all
+/// subtrees at once.
+///
+/// Returns `None` — no reordering — unless every context carries a
+/// [`ScheduleKey`] of one family over one domain whose grid is fully
+/// enumerated in index order (`contexts.len() == n^len`), which is exactly
+/// what [`crate::contexts::ContextGen`] produces for unsampled grids.
+/// `nargs` is the number of per-context sub-cases (case index = `ctx_index
+/// * nargs + sub_index`); sub-cases stay adjacent.
+pub fn subtree_case_order(
+    keys: &[Option<&ScheduleKey>],
+    nargs: usize,
+) -> Option<Vec<usize>> {
+    let first = keys.first().copied().flatten()?;
+    let n = first.domain_len();
+    let len = first.script().len();
+    if n < 2 || nargs == 0 {
+        return None;
+    }
+    let total = n.checked_pow(u32::try_from(len).ok()?)?;
+    if keys.len() != total {
+        return None;
+    }
+    if !keys.iter().all(|k| {
+        k.is_some_and(|k| {
+            k.family() == first.family() && k.domain_len() == n && k.script().len() == len
+        })
+    }) {
+        return None;
+    }
+    let rev = |mut i: usize| -> usize {
+        let mut out = 0;
+        for _ in 0..len {
+            out = out * n + i % n;
+            i /= n;
+        }
+        out
+    };
+    Some(
+        (0..total * nargs)
+            .map(|j| rev(j / nargs) * nargs + j % nargs)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(family: u64, script: &[u32]) -> ScheduleKey {
+        ScheduleKey::new(family, script.iter().map(|&p| Pid(p)).collect(), 2)
+    }
+
+    #[test]
+    fn parse_share_follows_the_por_grammar() {
+        assert_eq!(parse_share("0"), Some(false));
+        assert_eq!(parse_share(" 0 "), Some(false));
+        assert_eq!(parse_share("1"), Some(true));
+        assert_eq!(parse_share(" 16\n"), Some(true));
+        assert_eq!(parse_share("yes"), None);
+        assert_eq!(parse_share(""), None);
+        assert_eq!(parse_share("-1"), None);
+    }
+
+    #[test]
+    fn lookup_hits_any_consumed_prefix() {
+        let memo = PrefixMemo::new();
+        let k_short = key(7, &[0, 1, 0]);
+        // A run under [0,1,0] that consumed 2 slots.
+        memo.insert(&k_short, 0, 2, "shared");
+        // Scripts agreeing on the first two slots hit; others miss.
+        assert_eq!(memo.lookup(&key(7, &[0, 1, 1]), 0), Some("shared"));
+        assert_eq!(memo.lookup(&key(7, &[0, 0, 0]), 0), None);
+        assert_eq!(memo.lookup(&key(7, &[1, 1, 0]), 0), None);
+    }
+
+    #[test]
+    fn depth_zero_entries_hit_every_script() {
+        let memo = PrefixMemo::new();
+        memo.insert(&key(3, &[1, 1]), 0, 0, 42);
+        assert_eq!(memo.lookup(&key(3, &[0, 0]), 0), Some(42));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn consumed_depth_clamps_to_script_length() {
+        let memo = PrefixMemo::new();
+        // A run that outlived its script (round-robin tail): cached at the
+        // full script, so only the identical script hits.
+        memo.insert(&key(1, &[0, 1]), 0, 9, "tail");
+        assert_eq!(memo.lookup(&key(1, &[0, 1]), 0), Some("tail"));
+        assert_eq!(memo.lookup(&key(1, &[0, 0]), 0), None);
+    }
+
+    #[test]
+    fn families_and_inner_indices_do_not_cross() {
+        let memo = PrefixMemo::new();
+        memo.insert(&key(1, &[0]), 0, 0, 1);
+        assert_eq!(memo.lookup(&key(2, &[0]), 0), None, "family boundary");
+        assert_eq!(memo.lookup(&key(1, &[0]), 1), None, "inner boundary");
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let memo = PrefixMemo::new();
+        memo.insert(&key(1, &[0, 1]), 0, 1, "first");
+        memo.insert(&key(1, &[0, 0]), 0, 1, "second");
+        assert_eq!(memo.lookup(&key(1, &[0, 1]), 0), Some("first"));
+    }
+
+    #[test]
+    fn step_counters_accumulate_and_reset() {
+        // Serialized by the global counters themselves being process-wide:
+        // this test only checks the arithmetic, tolerating interference by
+        // measuring deltas.
+        steps_reset();
+        record_steps(10);
+        record_steps(5);
+        record_shared();
+        assert!(steps_total() >= 15);
+        assert!(shared_total() >= 1);
+        steps_reset();
+    }
+
+    #[test]
+    fn subtree_order_is_a_digit_reversal_permutation() {
+        // 2-pid domain, len 2 grid (4 contexts), 3 args per context.
+        let keys_owned: Vec<ScheduleKey> = (0..4)
+            .map(|i| key(5, &[i % 2, (i / 2) % 2]))
+            .collect();
+        let keys: Vec<Option<&ScheduleKey>> = keys_owned.iter().map(Some).collect();
+        let order = subtree_case_order(&keys, 3).expect("full grid reorders");
+        assert_eq!(order.len(), 12);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>(), "a permutation");
+        // Queue position 1 is context rev(0)=0 arg 1; position 3 is context
+        // rev(1) = 2 (digit reversal of 01 is 10), arg 0.
+        assert_eq!(order[1], 1);
+        assert_eq!(order[3], 2 * 3);
+    }
+
+    #[test]
+    fn subtree_order_rejects_partial_or_mixed_grids() {
+        let keys_owned: Vec<ScheduleKey> =
+            (0..3).map(|i| key(5, &[i % 2, (i / 2) % 2])).collect();
+        let keys: Vec<Option<&ScheduleKey>> = keys_owned.iter().map(Some).collect();
+        assert!(subtree_case_order(&keys, 1).is_none(), "sampled grid");
+        let mut mixed: Vec<Option<&ScheduleKey>> = keys_owned.iter().map(Some).collect();
+        mixed.push(None);
+        assert!(subtree_case_order(&mixed, 1).is_none(), "keyless context");
+        assert!(subtree_case_order(&[], 1).is_none(), "empty slice");
+    }
+}

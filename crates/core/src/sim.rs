@@ -42,6 +42,16 @@
 //! run is memoized keyed on that sequence plus the argument vector
 //! ([`SimOptions::dedup`]). Cache hits replay the recorded outcome, which
 //! keeps the evidence (case counts, probes) identical to a dedup-free run.
+//!
+//! Symmetrically, *lower* runs are shared across contexts whose schedule
+//! scripts agree on the prefix the run actually consumes
+//! ([`SimOptions::prefix_share`], see [`crate::prefix`]): the grid is a
+//! schedule-prefix trie, and each distinct consumed prefix is executed
+//! once — including a forked [`LayerMachine`] snapshot of the setup phase,
+//! resumed at the schedule divergence point for contexts that only differ
+//! afterwards. Sharing never changes the verdict, the first failure, or
+//! the evidence, because every shared outcome is exactly what re-execution
+//! would have produced.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -341,6 +351,14 @@ pub struct SimOptions {
     /// context whose verdict subsumes theirs. Defaults to
     /// [`crate::por::por_enabled`] (on unless `CCAL_POR=0`).
     pub por: bool,
+    /// Share lower-machine runs across contexts whose schedule scripts
+    /// agree on the consumed prefix (see [`crate::prefix`]): the lower run
+    /// is a deterministic function of the schedule slots it actually reads,
+    /// so a grid of `n^L` contexts executes only one run per *distinct
+    /// consumed prefix*. Never changes the verdict or the evidence.
+    /// Defaults to [`crate::prefix::prefix_share_enabled`] (on unless
+    /// `CCAL_PREFIX_SHARE=0`).
+    pub prefix_share: bool,
     /// Capacity cap on the upper-run memo table. When an insert would
     /// exceed the cap the table is cleared (generation eviction), so the
     /// memory footprint stays bounded on huge grids while verdicts and
@@ -363,6 +381,7 @@ impl Default for SimOptions {
             workers: crate::par::default_workers(),
             dedup: true,
             por: crate::por::por_enabled(),
+            prefix_share: crate::prefix::prefix_share_enabled(),
             upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
         }
     }
@@ -387,6 +406,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_por(mut self, por: bool) -> Self {
         self.por = por;
+        self
+    }
+
+    /// Enables or disables prefix-sharing of lower-machine runs.
+    #[must_use]
+    pub fn with_prefix_share(mut self, prefix_share: bool) -> Self {
+        self.prefix_share = prefix_share;
         self
     }
 
@@ -481,6 +507,175 @@ pub fn check_prim_refinement(
             },
         }
     };
+    // Outcome of the lower half of a case — a deterministic function of
+    // the schedule prefix the run consumes and the argument vector, which
+    // makes it shareable across contexts with a common consumed prefix
+    // via [`crate::prefix::PrefixMemo`]. Reasons deliberately omit the
+    // case description: the per-case wrapper re-attaches it.
+    #[allow(clippy::items_after_statements)]
+    #[derive(Clone)]
+    enum LowerRun {
+        Skipped,
+        Failed { lower_log: Log, reason: String },
+        Done { lower_log: Log, lower_ret: Val },
+    }
+    // Snapshot of the lower machine after the setup calls — forked at the
+    // schedule divergence point and shared across contexts (and argument
+    // vectors) that agree on the prefix setup consumed.
+    #[allow(clippy::items_after_statements)]
+    #[derive(Clone)]
+    enum SetupRun {
+        Skipped,
+        Failed { lower_log: Log, reason: String },
+        Done(LayerMachine),
+    }
+    // Snapshot of the lower machine at the *return* of the checked call,
+    // before the trailing environment flush. The flush consumes further
+    // schedule slots (it drains to the next focused turn), so memoizing
+    // the pre-flush machine keys the bulk of the work at a strictly
+    // shallower trie depth: contexts that agree only up to the call's
+    // return fork this snapshot and replay just their own flush.
+    #[allow(clippy::items_after_statements)]
+    #[derive(Clone)]
+    struct CallRun {
+        machine: LayerMachine,
+        lower_ret: Val,
+    }
+    let lower_memo: crate::prefix::PrefixMemo<LowerRun> = crate::prefix::PrefixMemo::new();
+    let setup_memo: crate::prefix::PrefixMemo<SetupRun> = crate::prefix::PrefixMemo::new();
+    let call_memo: crate::prefix::PrefixMemo<CallRun> = crate::prefix::PrefixMemo::new();
+    let share = opts.prefix_share;
+    // Executes the lower half of a case, sharing the setup phase with
+    // earlier runs whose schedule agrees on the prefix setup consumed.
+    // Returns the outcome plus the total consumed schedule prefix length.
+    let exec_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> (LowerRun, usize) {
+        let key = if share { env.schedule_key() } else { None };
+        let mut lower = if opts.setup.is_empty() {
+            LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel)
+        } else {
+            match key.and_then(|k| setup_memo.lookup(k, 0)) {
+                Some(SetupRun::Skipped) => {
+                    crate::prefix::record_shared();
+                    return (LowerRun::Skipped, 0);
+                }
+                Some(SetupRun::Failed { lower_log, reason }) => {
+                    crate::prefix::record_shared();
+                    return (LowerRun::Failed { lower_log, reason }, 0);
+                }
+                Some(SetupRun::Done(snapshot)) => {
+                    // Fork at the divergence point: the snapshot's log was
+                    // produced under a script agreeing with `env`'s on
+                    // every slot it consumed, so resuming under `env` is
+                    // identical to having run setup under it.
+                    crate::prefix::record_shared();
+                    snapshot.fork_with_env(env.clone())
+                }
+                None => {
+                    let mut m = LayerMachine::new(lower_iface.clone(), pid, env.clone())
+                        .with_fuel(opts.fuel);
+                    let mut early = None;
+                    for (sname, sargs) in &opts.setup {
+                        match m.call_prim(sname, sargs) {
+                            Ok(_) => {}
+                            Err(e) if e.is_invalid_context() => {
+                                early = Some(SetupRun::Skipped);
+                                break;
+                            }
+                            Err(e) => {
+                                early = Some(SetupRun::Failed {
+                                    lower_log: m.log.clone(),
+                                    reason: format!("lower setup `{sname}` failed: {e}"),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    crate::prefix::record_steps(m.steps_taken() + m.log.len() as u64);
+                    let consumed = m.log.iter().filter(|e| e.is_sched()).count();
+                    let outcome = early.unwrap_or_else(|| SetupRun::Done(m.fork()));
+                    if let Some(k) = key {
+                        setup_memo.insert(k, 0, consumed, outcome.clone());
+                    }
+                    match outcome {
+                        SetupRun::Skipped => return (LowerRun::Skipped, consumed),
+                        SetupRun::Failed { lower_log, reason } => {
+                            return (LowerRun::Failed { lower_log, reason }, consumed);
+                        }
+                        SetupRun::Done(_) => m,
+                    }
+                }
+            }
+        };
+        // Work executed before this point was already counted (at setup
+        // time for a fresh run, by the snapshot's producer for a fork).
+        let pre = lower.steps_taken() + lower.log.len() as u64;
+        let outcome = match lower.call_prim(lower_prim, args) {
+            Ok(lower_ret) => {
+                if let Some(k) = key {
+                    let at_return = lower.log.iter().filter(|e| e.is_sched()).count();
+                    call_memo.insert(
+                        k,
+                        ai,
+                        at_return,
+                        CallRun {
+                            machine: lower.fork(),
+                            lower_ret: lower_ret.clone(),
+                        },
+                    );
+                }
+                // Flush trailing environment events so handoff-style
+                // abstractions (events authored during another
+                // participant's turn) are fully delivered before comparing.
+                let _ = lower.deliver_env();
+                LowerRun::Done {
+                    lower_log: lower.log.clone(),
+                    lower_ret,
+                }
+            }
+            Err(e) if e.is_invalid_context() => LowerRun::Skipped,
+            Err(e) => LowerRun::Failed {
+                lower_log: lower.log.clone(),
+                reason: format!("lower run failed: {e}"),
+            },
+        };
+        crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
+        let consumed = lower.log.iter().filter(|e| e.is_sched()).count();
+        (outcome, consumed)
+    };
+    // 1. Run the lower machine — once per distinct consumed schedule
+    // prefix and argument vector when sharing is on; every context whose
+    // script extends a memoized prefix replays the recorded outcome, and
+    // contexts that agree only up to the call's return fork the pre-flush
+    // snapshot and replay just their own environment flush.
+    let run_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> LowerRun {
+        let key = if share { env.schedule_key() } else { None };
+        match key {
+            Some(k) => {
+                if let Some(hit) = lower_memo.lookup(k, ai) {
+                    crate::prefix::record_shared();
+                    return hit;
+                }
+                if let Some(CallRun { machine, lower_ret }) = call_memo.lookup(k, ai) {
+                    crate::prefix::record_shared();
+                    let mut lower = machine.fork_with_env(env.clone());
+                    let pre = lower.log.len() as u64;
+                    let _ = lower.deliver_env();
+                    crate::prefix::record_steps(lower.log.len() as u64 - pre);
+                    let outcome = LowerRun::Done {
+                        lower_log: lower.log.clone(),
+                        lower_ret,
+                    };
+                    let consumed = lower.log.iter().filter(|e| e.is_sched()).count();
+                    lower_memo.insert(k, ai, consumed, outcome.clone());
+                    return outcome;
+                }
+                let (outcome, consumed) = exec_lower(env, ai, args);
+                lower_memo.insert(k, ai, consumed, outcome.clone());
+                outcome
+            }
+            None => exec_lower(env, ai, args).0,
+        }
+    };
     let nargs = arg_vectors.len();
     let total = contexts.len() * nargs;
     let run_case_inner = |idx: usize| -> CaseOutcome {
@@ -492,46 +687,23 @@ pub fn check_prim_refinement(
         }
         let args = &arg_vectors[ai];
         let case = format!("context #{ci}, args #{ai} {args:?}");
-        // 1. Run the lower machine (setup calls first).
-        let mut lower =
-            LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel);
-        for (sname, sargs) in &opts.setup {
-            match lower.call_prim(sname, sargs) {
-                Ok(_) => {}
-                Err(e) if e.is_invalid_context() => return CaseOutcome::Skipped,
-                Err(e) => {
-                    return CaseOutcome::Failed(fail(
-                        case,
-                        lower.log.clone(),
-                        Log::new(),
-                        format!("lower setup `{sname}` failed: {e}"),
-                    ));
-                }
+        let (lower_log, lower_ret) = match run_lower(env, ai, args) {
+            LowerRun::Skipped => return CaseOutcome::Skipped,
+            LowerRun::Failed { lower_log, reason } => {
+                return CaseOutcome::Failed(fail(case, lower_log, Log::new(), reason));
             }
-        }
-        let lower_ret = match lower.call_prim(lower_prim, args) {
-            Ok(v) => v,
-            Err(e) if e.is_invalid_context() => return CaseOutcome::Skipped,
-            Err(e) => {
-                return CaseOutcome::Failed(fail(
-                    case,
-                    lower.log.clone(),
-                    Log::new(),
-                    format!("lower run failed: {e}"),
-                ));
-            }
+            LowerRun::Done {
+                lower_log,
+                lower_ret,
+            } => (lower_log, lower_ret),
         };
-        // Flush trailing environment events so handoff-style
-        // abstractions (events authored during another participant's
-        // turn) are fully delivered before comparing.
-        let _ = lower.deliver_env();
         // 2. Abstract the lower log to the related upper event sequence.
-        let expected = match relation.abstracted(&lower.log) {
+        let expected = match relation.abstracted(&lower_log) {
             Some(l) => l,
             None => {
                 return CaseOutcome::Failed(fail(
                     case,
-                    lower.log.clone(),
+                    lower_log.clone(),
                     Log::new(),
                     format!("lower log outside domain of {}", relation.name),
                 ));
@@ -570,7 +742,7 @@ pub fn check_prim_refinement(
         match upper_run {
             UpperRun::Skipped => CaseOutcome::Skipped,
             UpperRun::Failed { reason, upper_log } => {
-                CaseOutcome::Failed(fail(case, lower.log.clone(), upper_log, reason))
+                CaseOutcome::Failed(fail(case, lower_log, upper_log, reason))
             }
             UpperRun::Done {
                 upper_log,
@@ -582,7 +754,7 @@ pub fn check_prim_refinement(
                 if expected != upper_log.without_sched() {
                     return CaseOutcome::Failed(fail(
                         case,
-                        lower.log.clone(),
+                        lower_log,
                         upper_log,
                         format!("logs not related by {}", relation.name),
                     ));
@@ -590,13 +762,13 @@ pub fn check_prim_refinement(
                 if opts.compare_rets && lower_ret != upper_ret {
                     return CaseOutcome::Failed(fail(
                         case,
-                        lower.log,
+                        lower_log,
                         upper_log,
                         format!("return values differ: {lower_ret} vs {upper_ret}"),
                     ));
                 }
                 CaseOutcome::Checked {
-                    lower_log: lower.log,
+                    lower_log,
                     upper_log,
                 }
             }
@@ -622,7 +794,17 @@ pub fn check_prim_refinement(
         }
         outcome
     };
-    let slots = crate::par::run_cases(total, opts.workers, run_case, |o| {
+    // With sharing on and several workers, claim the grid in digit-reversed
+    // (subtree) order so each worker's chunk shares long schedule prefixes —
+    // the memo then hits within a chunk instead of racing across chunks.
+    let order = if share && opts.workers > 1 {
+        let keys: Vec<Option<&crate::prefix::ScheduleKey>> =
+            contexts.iter().map(EnvContext::schedule_key).collect();
+        crate::prefix::subtree_case_order(&keys, nargs)
+    } else {
+        None
+    };
+    let slots = crate::par::run_cases_ordered(total, opts.workers, order.as_deref(), run_case, |o| {
         matches!(o, CaseOutcome::Failed(_))
     });
     let mut evidence = SimEvidence::default();

@@ -44,6 +44,10 @@ pub struct ReplayOptions {
     pub dedup: bool,
     /// Partial-order reduction (always off for replay).
     pub por: bool,
+    /// Prefix-sharing of lower runs (always off for replay; decoded
+    /// tolerantly — artifacts written before the knob existed read as
+    /// `false`).
+    pub prefix_share: bool,
 }
 
 /// One serialized failure witness.
@@ -79,6 +83,7 @@ impl TraceArtifact {
                     ("workers", Json::Int(self.options.workers as i64)),
                     ("dedup", Json::Bool(self.options.dedup)),
                     ("por", Json::Bool(self.options.por)),
+                    ("prefix_share", Json::Bool(self.options.prefix_share)),
                 ]),
             ),
             ("context", self.context.encode()),
@@ -149,6 +154,12 @@ impl TraceArtifact {
             workers: ou64("workers")?,
             dedup: obool("dedup")?,
             por: obool("por")?,
+            // Tolerant: the field postdates FORMAT_VERSION 1, and replay
+            // bypasses the memo structurally either way.
+            prefix_share: oj
+                .get("prefix_share")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         };
         let context = ScriptedContext::decode(
             j.get("context")
@@ -257,6 +268,7 @@ mod tests {
                 workers: 1,
                 dedup: false,
                 por: false,
+                prefix_share: false,
             },
             context: ScriptedContext {
                 domain: vec![Pid(0), Pid(1)],

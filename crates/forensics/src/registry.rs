@@ -38,17 +38,21 @@ pub struct RunConfig {
     pub dedup: bool,
     /// Partial-order reduction.
     pub por: bool,
+    /// Prefix-sharing of lower runs across contexts (see
+    /// [`ccal_core::prefix`]).
+    pub prefix_share: bool,
 }
 
 impl RunConfig {
-    /// The replay configuration: serial, no dedup, no POR — every source
-    /// of exploration-order variance off.
+    /// The replay configuration: serial, no dedup, no POR, no prefix
+    /// sharing — every source of exploration-order variance off.
     #[must_use]
     pub fn replay() -> Self {
         Self {
             workers: 1,
             dedup: false,
             por: false,
+            prefix_share: false,
         }
     }
 }
@@ -99,7 +103,8 @@ fn run_sim(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         &SimOptions::default()
             .with_workers(cfg.workers)
             .with_dedup(cfg.dedup)
-            .with_por(cfg.por),
+            .with_por(cfg.por)
+            .with_prefix_share(cfg.prefix_share),
     )
     .map(|_| ())
     .map_err(|f| f.reason)
@@ -116,6 +121,7 @@ fn run_live(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         buggy::IMPATIENT_FUEL,
         cfg.workers,
         cfg.por,
+        cfg.prefix_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -130,6 +136,7 @@ fn run_race(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         RACE_FUEL,
         cfg.workers,
         cfg.por,
+        cfg.prefix_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -146,6 +153,7 @@ fn run_linz(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         LINZ_FUEL,
         cfg.workers,
         cfg.por,
+        cfg.prefix_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -162,6 +170,7 @@ fn run_seqref(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         SEQREF_FUEL,
         cfg.workers,
         cfg.por,
+        cfg.prefix_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -306,6 +315,7 @@ pub fn investigate(fx: &Fixture, cfg: &RunConfig) -> Result<TraceArtifact, Strin
             workers: 1,
             dedup: false,
             por: false,
+            prefix_share: false,
         },
         context: outcome.context,
         expected: ExpectedFailure {

@@ -50,6 +50,31 @@ fn golden_artifacts_replay_bit_identically() {
     }
 }
 
+/// Every golden artifact's options fingerprint must record that replay
+/// runs with prefix-sharing off (alongside the serial/no-dedup/no-POR
+/// knobs), and the field must be present in the on-disk bytes — not just
+/// defaulted by the tolerant decoder.
+#[test]
+fn golden_artifacts_record_the_replay_fingerprint() {
+    for f in corpus_files() {
+        let on_disk = std::fs::read_to_string(&f).unwrap();
+        assert!(
+            on_disk.contains("\"prefix_share\""),
+            "{}: options fingerprint does not record `prefix_share`",
+            f.display()
+        );
+        let a = TraceArtifact::load(&f).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(a.options.workers, 1, "{}: replay must be serial", f.display());
+        assert!(!a.options.dedup, "{}: replay must not dedup", f.display());
+        assert!(!a.options.por, "{}: replay must not reduce", f.display());
+        assert!(
+            !a.options.prefix_share,
+            "{}: replay must not prefix-share",
+            f.display()
+        );
+    }
+}
+
 #[test]
 fn golden_artifacts_are_byte_stable() {
     for f in corpus_files() {

@@ -105,7 +105,8 @@ proptest! {
 }
 
 /// `investigate` is a deterministic function of the fixture: the engine
-/// knobs (worker count, POR, dedup) never change which case is reified,
+/// knobs (worker count, POR, dedup, prefix sharing) never change which
+/// case is reified,
 /// how it shrinks, or the artifact bytes. POR may *skip* trace-equivalent
 /// contexts, but the index-least failing case is never skippable — its
 /// POR representative would be an earlier failure.
@@ -118,20 +119,24 @@ fn investigation_is_identical_across_workers_and_por() {
         replay_artifact(&reference).expect("reference artifact replays");
         for workers in [1, 4] {
             for por in [false, true] {
-                let cfg = RunConfig {
-                    workers,
-                    dedup: workers > 1,
-                    por,
-                };
-                let got = investigate(&fx, &cfg)
-                    .unwrap_or_else(|e| panic!("investigate failed under {cfg:?}: {e}"));
-                assert_eq!(
-                    got.encode().pretty(),
-                    reference_bytes,
-                    "{}/{}: artifact drifted under workers={workers} por={por}",
-                    fx.checker,
-                    fx.object
-                );
+                for prefix_share in [false, true] {
+                    let cfg = RunConfig {
+                        workers,
+                        dedup: workers > 1,
+                        por,
+                        prefix_share,
+                    };
+                    let got = investigate(&fx, &cfg)
+                        .unwrap_or_else(|e| panic!("investigate failed under {cfg:?}: {e}"));
+                    assert_eq!(
+                        got.encode().pretty(),
+                        reference_bytes,
+                        "{}/{}: artifact drifted under workers={workers} por={por} \
+                         prefix_share={prefix_share}",
+                        fx.checker,
+                        fx.object
+                    );
+                }
             }
         }
     }

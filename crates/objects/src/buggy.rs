@@ -339,6 +339,7 @@ mod tests {
             IMPATIENT_FUEL,
             1,
             false,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));
@@ -354,6 +355,7 @@ mod tests {
             50_000,
             1,
             false,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));
@@ -371,6 +373,7 @@ mod tests {
             100_000,
             1,
             false,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));
@@ -388,6 +391,7 @@ mod tests {
             100_000,
             1,
             false,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));

@@ -82,12 +82,15 @@ pub fn check_liveness_por(
         fuel,
         ccal_core::par::default_workers(),
         por,
+        ccal_core::prefix::prefix_share_enabled(),
     )
 }
 
 /// [`check_liveness_por`] with an explicit worker count — `1` explores the
 /// grid serially on the calling thread, the reference behavior the
-/// forensics replay gate uses for bit-identical reproduction.
+/// forensics replay gate uses for bit-identical reproduction — and
+/// explicit prefix-sharing of lower runs across contexts with common
+/// consumed schedule prefixes (see [`ccal_core::prefix`]).
 ///
 /// # Errors
 ///
@@ -103,6 +106,7 @@ pub fn check_liveness_tuned(
     fuel: u64,
     workers: usize,
     por: bool,
+    prefix_share: bool,
 ) -> Result<Obligation, LayerError> {
     // Contexts are independent: explore them on the shared work queue and
     // fold in context order, so the worst-case step count and the first
@@ -114,12 +118,38 @@ pub fn check_liveness_tuned(
         Done(u64),
         Failed(Box<LayerError>),
     }
+    // The machine run is a deterministic function of the consumed schedule
+    // prefix, so its result (not the per-case classification, which names
+    // the context index) is shared across contexts via the prefix memo.
+    type LowerRun = (Result<(), ccal_core::machine::MachineError>, ccal_core::log::Log);
+    let memo: ccal_core::prefix::PrefixMemo<LowerRun> = ccal_core::prefix::PrefixMemo::new();
+    let exec_lower = |env: &EnvContext| -> (LowerRun, usize) {
+        let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let res = machine.call_prim(prim, args).map(|_| ());
+        ccal_core::prefix::record_steps(machine.steps_taken() + machine.log.len() as u64);
+        let consumed = machine.log.iter().filter(|e| e.is_sched()).count();
+        ((res, machine.log), consumed)
+    };
+    let run_lower = |env: &EnvContext| -> LowerRun {
+        match if prefix_share { env.schedule_key() } else { None } {
+            Some(k) => {
+                if let Some(hit) = memo.lookup(k, 0) {
+                    ccal_core::prefix::record_shared();
+                    return hit;
+                }
+                let (outcome, consumed) = exec_lower(env);
+                memo.insert(k, 0, consumed, outcome.clone());
+                outcome
+            }
+            None => exec_lower(env).0,
+        }
+    };
     let run_case = |ci: usize| -> Case {
         let env = &contexts[ci];
         if por && env.is_por_equivalent() {
             return Case::Reduced;
         }
-        let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let (res, log) = run_lower(env);
         let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
             if ccal_core::forensics::capturing() {
                 ccal_core::forensics::record(ccal_core::forensics::FailingCase {
@@ -133,13 +163,13 @@ pub fn check_liveness_tuned(
             }
             Case::Failed(Box::new(err))
         };
-        match machine.call_prim(prim, args) {
-            Ok(_) => {}
+        match res {
+            Ok(()) => {}
             Err(e) if e.is_invalid_context() => return Case::Skipped,
             Err(ccal_core::machine::MachineError::OutOfFuel { .. }) => {
                 return fail(
                     "run exhausted its fuel (starvation)".to_owned(),
-                    &machine.log,
+                    &log,
                     LayerError::Mismatch {
                         expected: format!("`{prim}` to terminate (starvation-freedom)"),
                         found: "run exhausted its fuel (starvation)".to_owned(),
@@ -149,14 +179,14 @@ pub fn check_liveness_tuned(
             }
             Err(e) => {
                 let reason = format!("machine failure: {e}");
-                return fail(reason, &machine.log, LayerError::Machine(e));
+                return fail(reason, &log, LayerError::Machine(e));
             }
         }
-        let steps = machine.log.iter().filter(|e| e.is_sched()).count() as u64;
+        let steps = log.iter().filter(|e| e.is_sched()).count() as u64;
         if steps > bound {
             return fail(
                 format!("{steps} steps exceed the bound {bound}"),
-                &machine.log,
+                &log,
                 LayerError::Mismatch {
                     expected: format!("completion within {bound} scheduling steps"),
                     found: format!("{steps} steps"),
@@ -166,9 +196,17 @@ pub fn check_liveness_tuned(
         }
         Case::Done(steps)
     };
-    let slots = ccal_core::par::run_cases(contexts.len(), workers, run_case, |c| {
-        matches!(c, Case::Failed(_))
-    });
+    let order = if prefix_share && workers > 1 {
+        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
+            contexts.iter().map(EnvContext::schedule_key).collect();
+        ccal_core::prefix::subtree_case_order(&keys, 1)
+    } else {
+        None
+    };
+    let slots =
+        ccal_core::par::run_cases_ordered(contexts.len(), workers, order.as_deref(), run_case, |c| {
+            matches!(c, Case::Failed(_))
+        });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

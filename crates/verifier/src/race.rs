@@ -69,16 +69,20 @@ pub fn check_race_freedom_por(
         fuel,
         ccal_core::par::default_workers(),
         por,
+        ccal_core::prefix::prefix_share_enabled(),
     )
 }
 
 /// [`check_race_freedom_por`] with an explicit worker count — `1` explores
 /// the grid serially on the calling thread, the reference behavior the
-/// forensics replay gate uses for bit-identical reproduction.
+/// forensics replay gate uses for bit-identical reproduction — and
+/// explicit prefix-sharing of runs across contexts with common consumed
+/// schedule prefixes (see [`ccal_core::prefix`]).
 ///
 /// # Errors
 ///
 /// As [`check_race_freedom`].
+#[allow(clippy::too_many_arguments)]
 pub fn check_race_freedom_tuned(
     iface: &LayerInterface,
     focused: &PidSet,
@@ -87,6 +91,7 @@ pub fn check_race_freedom_tuned(
     fuel: u64,
     workers: usize,
     por: bool,
+    prefix_share: bool,
 ) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
@@ -97,14 +102,42 @@ pub fn check_race_freedom_tuned(
         Reduced,
         Failed(Box<LayerError>),
     }
+    // The traced run is a deterministic function of the consumed schedule
+    // prefix, so it is shared across contexts via the prefix memo; only the
+    // per-case classification (which names the context index) is redone.
+    type TracedRun = (
+        Result<ccal_core::conc::ConcurrentOutcome, MachineError>,
+        ccal_core::log::Log,
+    );
+    let memo: ccal_core::prefix::PrefixMemo<TracedRun> = ccal_core::prefix::PrefixMemo::new();
+    let exec_lower = |env: &EnvContext| -> (TracedRun, usize) {
+        let machine =
+            ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
+        let (res, log) = machine.run_traced(programs);
+        ccal_core::prefix::record_steps(log.len() as u64);
+        let consumed = log.iter().filter(|e| e.is_sched()).count();
+        ((res, log), consumed)
+    };
+    let run_lower = |env: &EnvContext| -> TracedRun {
+        match if prefix_share { env.schedule_key() } else { None } {
+            Some(k) => {
+                if let Some(hit) = memo.lookup(k, 0) {
+                    ccal_core::prefix::record_shared();
+                    return hit;
+                }
+                let (outcome, consumed) = exec_lower(env);
+                memo.insert(k, 0, consumed, outcome.clone());
+                outcome
+            }
+            None => exec_lower(env).0,
+        }
+    };
     let run_case = |ci: usize| -> Case {
         let env = &contexts[ci];
         if por && env.is_por_equivalent() {
             return Case::Reduced;
         }
-        let machine =
-            ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
-        let (res, log) = machine.run_traced(programs);
+        let (res, log) = run_lower(env);
         let fail = |reason: String, err: LayerError| -> Case {
             if ccal_core::forensics::capturing() {
                 ccal_core::forensics::record(ccal_core::forensics::FailingCase {
@@ -144,9 +177,17 @@ pub fn check_race_freedom_tuned(
             }
         }
     };
-    let slots = ccal_core::par::run_cases(contexts.len(), workers, run_case, |c| {
-        matches!(c, Case::Failed(_))
-    });
+    let order = if prefix_share && workers > 1 {
+        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
+            contexts.iter().map(EnvContext::schedule_key).collect();
+        ccal_core::prefix::subtree_case_order(&keys, 1)
+    } else {
+        None
+    };
+    let slots =
+        ccal_core::par::run_cases_ordered(contexts.len(), workers, order.as_deref(), run_case, |c| {
+            matches!(c, Case::Failed(_))
+        });
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

@@ -79,12 +79,15 @@ pub fn check_sequence_refinement_por(
         fuel,
         ccal_core::par::default_workers(),
         por,
+        ccal_core::prefix::prefix_share_enabled(),
     )
 }
 
 /// [`check_sequence_refinement_por`] with an explicit worker count — `1`
 /// explores the grid serially on the calling thread, the reference
-/// behavior the forensics replay gate uses for bit-identical reproduction.
+/// behavior the forensics replay gate uses for bit-identical reproduction
+/// — and explicit prefix-sharing of impl-machine runs across contexts with
+/// common consumed schedule prefixes (see [`ccal_core::prefix`]).
 ///
 /// # Errors
 ///
@@ -100,6 +103,7 @@ pub fn check_sequence_refinement_tuned(
     fuel: u64,
     workers: usize,
     por: bool,
+    prefix_share: bool,
 ) -> Result<Obligation, LayerError> {
     // The (context × script) grid is explored on the shared work queue and
     // folded in case order — same counts and first failure as serially.
@@ -110,7 +114,72 @@ pub fn check_sequence_refinement_tuned(
         Reduced,
         Failed(Box<LayerError>),
     }
+    // The impl-machine run is a deterministic function of the consumed
+    // schedule prefix and the script index, so it is shared across contexts
+    // via the prefix memo. The spec phase replays the abstracted impl log
+    // (context-independent) and is recomputed per case: its environment is
+    // derived from the memoized impl log, so recomputation is deterministic.
+    #[allow(clippy::items_after_statements)]
+    #[derive(Clone)]
+    enum ImplRun {
+        Skipped,
+        Failed {
+            log: ccal_core::log::Log,
+            err: ccal_core::machine::MachineError,
+        },
+        Done {
+            log: ccal_core::log::Log,
+            rets: Vec<Val>,
+        },
+    }
+    let memo: ccal_core::prefix::PrefixMemo<ImplRun> = ccal_core::prefix::PrefixMemo::new();
     let nscripts = scripts.len();
+    let exec_impl = |env: &EnvContext, si: usize| -> (ImplRun, usize) {
+        let script = &scripts[si];
+        let mut impl_machine =
+            LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let mut impl_rets = Vec::with_capacity(script.len());
+        let mut outcome = None;
+        for (name, args) in script {
+            match impl_machine.call_prim(name, args) {
+                Ok(v) => impl_rets.push(v),
+                Err(e) if e.is_invalid_context() => {
+                    outcome = Some(ImplRun::Skipped);
+                    break;
+                }
+                Err(e) => {
+                    outcome = Some(ImplRun::Failed {
+                        log: impl_machine.log.clone(),
+                        err: e,
+                    });
+                    break;
+                }
+            }
+        }
+        ccal_core::prefix::record_steps(
+            impl_machine.steps_taken() + impl_machine.log.len() as u64,
+        );
+        let consumed = impl_machine.log.iter().filter(|e| e.is_sched()).count();
+        let outcome = outcome.unwrap_or(ImplRun::Done {
+            log: impl_machine.log,
+            rets: impl_rets,
+        });
+        (outcome, consumed)
+    };
+    let run_impl = |env: &EnvContext, si: usize| -> ImplRun {
+        match if prefix_share { env.schedule_key() } else { None } {
+            Some(k) => {
+                if let Some(hit) = memo.lookup(k, si) {
+                    ccal_core::prefix::record_shared();
+                    return hit;
+                }
+                let (outcome, consumed) = exec_impl(env, si);
+                memo.insert(k, si, consumed, outcome.clone());
+                outcome
+            }
+            None => exec_impl(env, si).0,
+        }
+    };
     let run_case = |idx: usize| -> Case {
         let (ci, si) = (idx / nscripts, idx % nscripts);
         let env = &contexts[ci];
@@ -118,8 +187,6 @@ pub fn check_sequence_refinement_tuned(
             return Case::Reduced;
         }
         let script = &scripts[si];
-        let mut impl_machine =
-            LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
         let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
             if ccal_core::forensics::capturing() {
                 ccal_core::forensics::record(ccal_core::forensics::FailingCase {
@@ -133,24 +200,21 @@ pub fn check_sequence_refinement_tuned(
             }
             Case::Failed(Box::new(err))
         };
-        let mut impl_rets = Vec::with_capacity(script.len());
-        for (name, args) in script {
-            match impl_machine.call_prim(name, args) {
-                Ok(v) => impl_rets.push(v),
-                Err(e) if e.is_invalid_context() => return Case::Skipped,
-                Err(e) => {
-                    let reason = format!("impl machine failure: {e}");
-                    return fail(reason, &impl_machine.log, LayerError::Machine(e));
-                }
+        let (impl_log, impl_rets) = match run_impl(env, si) {
+            ImplRun::Skipped => return Case::Skipped,
+            ImplRun::Failed { log, err } => {
+                let reason = format!("impl machine failure: {err}");
+                return fail(reason, &log, LayerError::Machine(err));
             }
-        }
-        let Some(expected) = relation.abstracted(&impl_machine.log) else {
+            ImplRun::Done { log, rets } => (log, rets),
+        };
+        let Some(expected) = relation.abstracted(&impl_log) else {
             return fail(
                 format!("log not in domain of {}", relation.name()),
-                &impl_machine.log,
+                &impl_log,
                 LayerError::Mismatch {
                     expected: format!("log in domain of {}", relation.name()),
-                    found: impl_machine.log.to_string(),
+                    found: impl_log.to_string(),
                     context: format!("sequence refinement, context #{ci}, script #{si}"),
                 },
             );
@@ -164,14 +228,14 @@ pub fn check_sequence_refinement_tuned(
                 Err(e) if e.is_invalid_context() => return Case::Skipped,
                 Err(e) => {
                     let reason = format!("spec machine failure: {e}");
-                    return fail(reason, &impl_machine.log, LayerError::Machine(e));
+                    return fail(reason, &impl_log, LayerError::Machine(e));
                 }
             }
         }
         if impl_rets != spec_rets {
             return fail(
                 format!("rets diverge: impl {impl_rets:?} vs spec {spec_rets:?}"),
-                &impl_machine.log,
+                &impl_log,
                 LayerError::Mismatch {
                     expected: format!("{spec_rets:?} (spec)"),
                     found: format!("{impl_rets:?} (impl)"),
@@ -184,19 +248,30 @@ pub fn check_sequence_refinement_tuned(
         if expected != spec_machine.log.without_sched() {
             return fail(
                 "final logs diverge through the relation".to_owned(),
-                &impl_machine.log,
+                &impl_log,
                 LayerError::Mismatch {
                     expected: spec_machine.log.to_string(),
-                    found: impl_machine.log.to_string(),
+                    found: impl_log.to_string(),
                     context: format!("sequence refinement logs, context #{ci}, script #{si}"),
                 },
             );
         }
         Case::Checked
     };
-    let slots = ccal_core::par::run_cases(contexts.len() * nscripts, workers, run_case, |c| {
-        matches!(c, Case::Failed(_))
-    });
+    let order = if prefix_share && workers > 1 && nscripts > 0 {
+        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
+            contexts.iter().map(EnvContext::schedule_key).collect();
+        ccal_core::prefix::subtree_case_order(&keys, nscripts)
+    } else {
+        None
+    };
+    let slots = ccal_core::par::run_cases_ordered(
+        contexts.len() * nscripts,
+        workers,
+        order.as_deref(),
+        run_case,
+        |c| matches!(c, Case::Failed(_)),
+    );
     let mut cases_checked = 0;
     let mut cases_skipped = 0;
     let mut cases_reduced = 0;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
-# parallel-vs-serial and POR differential suites (the latter both with the
-# reduction on and under the CCAL_POR=0 escape hatch), the engine
-# regression tests, the full workspace tests, and a criterion-free
-# benchmark smoke run. Everything here works without network access —
+# parallel-vs-serial, POR, and prefix-sharing differential suites (the
+# latter two both with the optimization on and under their CCAL_POR=0 /
+# CCAL_PREFIX_SHARE=0 escape hatches), the engine regression tests, the
+# full workspace tests, and criterion-free benchmark smoke runs including
+# the B5 prefix-sharing step-ratio gate. Everything here works without network access —
 # proptest/criterion resolve to the in-repo shim crates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +24,12 @@ cargo test -q --test por_differential
 echo "== differential: full grid re-checked with the escape hatch (CCAL_POR=0) =="
 CCAL_POR=0 cargo test -q --test por_differential
 
+echo "== differential: prefix-sharing trie vs memo-free engine (all five checkers) =="
+cargo test -q --test prefix_differential
+
+echo "== differential: sharing disabled via the escape hatch (CCAL_PREFIX_SHARE=0) =="
+CCAL_PREFIX_SHARE=0 cargo test -q --test prefix_differential
+
 echo "== regression: grid sampling, space_size, workers, cache cap =="
 cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
@@ -37,5 +44,8 @@ cargo run -q --release -p ccal-forensics --bin ccal-replay -- forensics/corpus
 
 echo "== bench smoke (no criterion): composition_scaling --quick =="
 cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
+
+echo "== bench gate (no criterion): prefix_sharing --quick (asserts L=5 step ratio <= 0.5) =="
+cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quick
 
 echo "verify: all green"
