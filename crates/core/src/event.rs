@@ -140,9 +140,25 @@ pub enum PrimFootprint {
     Global,
 }
 
-fn prim_footprint_registry() -> &'static Mutex<HashMap<String, PrimFootprint>> {
-    static REG: OnceLock<Mutex<HashMap<String, PrimFootprint>>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(HashMap::new()))
+/// The process-global primitive-footprint registry, plus the bookkeeping
+/// needed to detect *time-sensitive* declarations: POR equivalence is
+/// stamped on contexts at grid-generation time, so a declaration landing
+/// after `name`'s footprint was already consulted cannot retroactively fix
+/// the marks on grids generated under the earlier derivation.
+#[derive(Default)]
+struct PrimFootprintRegistry {
+    map: HashMap<String, PrimFootprint>,
+    /// Names whose effective derivation has been consulted at least once
+    /// (including consultations answered by the undeclared
+    /// [`PrimFootprint::Global`] default).
+    consulted: std::collections::HashSet<String>,
+    /// Names already warned about, so the stderr note fires once per name.
+    warned: std::collections::HashSet<String>,
+}
+
+fn prim_footprint_registry() -> &'static Mutex<PrimFootprintRegistry> {
+    static REG: OnceLock<Mutex<PrimFootprintRegistry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(PrimFootprintRegistry::default()))
 }
 
 /// Declares how [`EventKind::Prim`] events named `name` derive their
@@ -151,26 +167,45 @@ fn prim_footprint_registry() -> &'static Mutex<HashMap<String, PrimFootprint>> {
 /// Conflicting redeclarations widen to [`PrimFootprint::Global`] — two
 /// objects disagreeing about a name means neither claim can be trusted.
 /// Redeclaring the same derivation is idempotent.
+///
+/// Declare *before* generating context grids: POR-equivalence marks are
+/// stamped at generation time, so a declaration that changes `name`'s
+/// effective derivation after it has already been consulted leaves
+/// earlier grids carrying marks computed under the old derivation. Such a
+/// declaration still takes effect (later grids see it), but a warning is
+/// printed to stderr once per name so the initialization-order hazard is
+/// visible instead of silently splitting the process into two regimes.
 pub fn declare_prim_footprint(name: &str, fp: PrimFootprint) {
     let mut reg = prim_footprint_registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    match reg.get(name) {
-        Some(existing) if *existing != fp => {
-            reg.insert(name.to_owned(), PrimFootprint::Global);
-        }
-        _ => {
-            reg.insert(name.to_owned(), fp);
-        }
+    let old = reg
+        .map
+        .get(name)
+        .cloned()
+        .unwrap_or(PrimFootprint::Global);
+    let new = match reg.map.get(name) {
+        Some(existing) if *existing != fp => PrimFootprint::Global,
+        _ => fp,
+    };
+    if new != old && reg.consulted.contains(name) && reg.warned.insert(name.to_owned()) {
+        eprintln!(
+            "ccal: footprint of primitive `{name}` redeclared after use; context \
+             grids generated earlier keep POR-equivalence marks computed under \
+             the previous derivation — declare footprints before generating grids"
+        );
     }
+    reg.map.insert(name.to_owned(), new);
 }
 
 /// The declared footprint derivation for primitive `name`
 /// ([`PrimFootprint::Global`] when undeclared).
 pub fn prim_footprint(name: &str) -> PrimFootprint {
-    prim_footprint_registry()
+    let mut reg = prim_footprint_registry()
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    reg.consulted.insert(name.to_owned());
+    reg.map
         .get(name)
         .cloned()
         .unwrap_or(PrimFootprint::Global)
@@ -442,6 +477,17 @@ mod tests {
         declare_prim_footprint("test_fp_stable", PrimFootprint::Args);
         declare_prim_footprint("test_fp_stable", PrimFootprint::Args);
         assert_eq!(prim_footprint("test_fp_stable"), PrimFootprint::Args);
+    }
+
+    #[test]
+    fn post_use_declarations_still_take_effect() {
+        // Consulting first answers the undeclared Global default and marks
+        // the name used; a later declaration warns (once, on stderr — the
+        // earlier consultation may have stamped POR marks on a grid) but
+        // still lands for everything generated afterwards.
+        assert_eq!(prim_footprint("test_fp_late"), PrimFootprint::Global);
+        declare_prim_footprint("test_fp_late", PrimFootprint::Args);
+        assert_eq!(prim_footprint("test_fp_late"), PrimFootprint::Args);
     }
 
     #[test]

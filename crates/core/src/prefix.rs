@@ -131,9 +131,16 @@ impl ScheduleKey {
 /// context (the argument-vector index in the simulation checker, the script
 /// index in the sequence-refinement checker); checkers with one case per
 /// context pass `0`.
+///
+/// The store is sharded by `(family, inner)` so a probe can borrow the
+/// key's script (`Vec<Pid>: Borrow<[Pid]>`) — looking up every prefix
+/// depth allocates nothing while the lock is held.
 pub struct PrefixMemo<T> {
-    map: Mutex<HashMap<(u64, usize, Vec<Pid>), T>>,
+    map: Mutex<HashMap<(u64, usize), PrefixShard<T>>>,
 }
+
+/// One `(family, inner)` shard: consumed prefix → cached outcome.
+type PrefixShard<T> = HashMap<Vec<Pid>, T>;
 
 impl<T: Clone> PrefixMemo<T> {
     /// Creates an empty memo.
@@ -150,11 +157,20 @@ impl<T: Clone> PrefixMemo<T> {
     /// those `d` slots consume exactly `d` of them, so a second entry at a
     /// deeper extension of the same prefix can never be inserted.
     pub fn lookup(&self, key: &ScheduleKey, inner: usize) -> Option<T> {
+        self.lookup_at(key, inner).map(|(_, v)| v)
+    }
+
+    /// [`PrefixMemo::lookup`], additionally reporting the depth of the
+    /// matched prefix — the number of schedule slots the memoized run
+    /// consumed (clamped at insert time for runs that outlived their
+    /// script). Callers that re-cache a derived outcome must key it at
+    /// this depth, *not* at zero: a depth-0 entry matches every script of
+    /// the family, which is only sound for runs that truly read no slots.
+    pub fn lookup_at(&self, key: &ScheduleKey, inner: usize) -> Option<(usize, T)> {
         let map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        (0..=key.script.len()).find_map(|d| {
-            map.get(&(key.family, inner, key.script[..d].to_vec()))
-                .cloned()
-        })
+        let shard = map.get(&(key.family, inner))?;
+        (0..=key.script.len())
+            .find_map(|d| shard.get(&key.script[..d]).map(|v| (d, v.clone())))
     }
 
     /// Caches `value` under the prefix of `key`'s script that the run
@@ -167,7 +183,9 @@ impl<T: Clone> PrefixMemo<T> {
         self.map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry((key.family, inner, key.script[..depth].to_vec()))
+            .entry((key.family, inner))
+            .or_default()
+            .entry(key.script[..depth].to_vec())
             .or_insert(value);
     }
 
@@ -176,7 +194,9 @@ impl<T: Clone> PrefixMemo<T> {
         self.map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+            .values()
+            .map(HashMap::len)
+            .sum()
     }
 
     /// Whether nothing has been cached yet.
@@ -332,6 +352,18 @@ mod tests {
         memo.insert(&key(1, &[0, 1]), 0, 9, "tail");
         assert_eq!(memo.lookup(&key(1, &[0, 1]), 0), Some("tail"));
         assert_eq!(memo.lookup(&key(1, &[0, 0]), 0), None);
+    }
+
+    #[test]
+    fn lookup_at_reports_the_matched_depth() {
+        let memo = PrefixMemo::new();
+        memo.insert(&key(9, &[0, 1, 0]), 2, 2, "deep");
+        assert_eq!(memo.lookup_at(&key(9, &[0, 1, 1]), 2), Some((2, "deep")));
+        // Runs that outlived their script are clamped at insert time, so
+        // the reported depth is the stored (full-script) depth.
+        memo.insert(&key(9, &[1, 1]), 2, 7, "tail");
+        assert_eq!(memo.lookup_at(&key(9, &[1, 1]), 2), Some((2, "tail")));
+        assert_eq!(memo.lookup_at(&key(9, &[0, 0, 0]), 2), None);
     }
 
     #[test]

@@ -553,16 +553,21 @@ pub fn check_prim_refinement(
         let mut lower = if opts.setup.is_empty() {
             LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel)
         } else {
-            match key.and_then(|k| setup_memo.lookup(k, 0)) {
-                Some(SetupRun::Skipped) => {
+            match key.and_then(|k| setup_memo.lookup_at(k, 0)) {
+                // A skip/failure during setup consumed the schedule prefix
+                // the memoized run read — the matched depth, never 0. The
+                // caller re-caches this outcome per argument index, and a
+                // depth-0 entry would match scripts that diverge *inside*
+                // the setup and owe a different verdict.
+                Some((depth, SetupRun::Skipped)) => {
                     crate::prefix::record_shared();
-                    return (LowerRun::Skipped, 0);
+                    return (LowerRun::Skipped, depth);
                 }
-                Some(SetupRun::Failed { lower_log, reason }) => {
+                Some((depth, SetupRun::Failed { lower_log, reason })) => {
                     crate::prefix::record_shared();
-                    return (LowerRun::Failed { lower_log, reason }, 0);
+                    return (LowerRun::Failed { lower_log, reason }, depth);
                 }
-                Some(SetupRun::Done(snapshot)) => {
+                Some((_, SetupRun::Done(snapshot))) => {
                     // Fork at the divergence point: the snapshot's log was
                     // produced under a script agreeing with `env`'s on
                     // every slot it consumed, so resuming under `env` is
@@ -658,9 +663,9 @@ pub fn check_prim_refinement(
                 if let Some(CallRun { machine, lower_ret }) = call_memo.lookup(k, ai) {
                     crate::prefix::record_shared();
                     let mut lower = machine.fork_with_env(env.clone());
-                    let pre = lower.log.len() as u64;
+                    let pre = lower.steps_taken() + lower.log.len() as u64;
                     let _ = lower.deliver_env();
-                    crate::prefix::record_steps(lower.log.len() as u64 - pre);
+                    crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
                     let outcome = LowerRun::Done {
                         lower_log: lower.log.clone(),
                         lower_ret,

@@ -19,6 +19,8 @@ use ccal::core::id::{Loc, Pid, PidSet, QId};
 use ccal::core::layer::{LayerInterface, PrimCtx, PrimRun, PrimSpec, PrimStep};
 use ccal::core::machine::MachineError;
 use ccal::core::sim::{check_prim_refinement, SimOptions, SimRelation};
+use ccal::core::log::Log;
+use ccal::core::rely::{Conditions, Invariant, RelyGuarantee};
 use ccal::core::strategy::ScratchPlayer;
 use ccal::core::val::Val;
 use ccal::objects::ticket::TicketEnvPlayer;
@@ -162,6 +164,119 @@ fn sim_refinement_is_identical_with_and_without_sharing() {
                 assert!(
                     format!("{failure}").contains("args #4"),
                     "first failure must be the index-least case, got {failure}"
+                );
+            }
+        }
+    }
+}
+
+/// A lower interface whose `gate` setup primitive queries the environment
+/// until a non-scheduling event exists — so setup consumes a
+/// schedule-dependent number of slots — under a rely condition violated
+/// exactly when `Pid(2)` is the *first* environment pid to act (a
+/// predicate that is decided within the consumed window and stable
+/// afterwards). Contexts scheduling pid 2 first skip *during setup* at
+/// prefix depth ≥ 1; the memoized skip must stay keyed at that depth (a
+/// depth-0 entry would leak the skip to every schedule in the family —
+/// the regression behind
+/// `setup_skips_and_failures_stay_keyed_at_their_consumed_depth`).
+fn gated_lower_iface() -> LayerInterface {
+    struct Gate;
+    impl PrimRun for Gate {
+        fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
+            if !ctx.log.without_sched().is_empty() {
+                Ok(PrimStep::Done(Val::Unit))
+            } else {
+                Ok(PrimStep::Query)
+            }
+        }
+    }
+    LayerInterface::builder("L-gate")
+        .prim(PrimSpec::strategy("gate", true, |_, _| Box::new(Gate)))
+        .prim(PrimSpec::atomic("op", |ctx, args| {
+            ctx.emit(EventKind::Prim("op".into(), vec![args[0].clone()]));
+            Ok(args[0].clone())
+        }))
+        .conditions(RelyGuarantee::new(
+            Conditions::none().with(Invariant::new("pid2-not-first", |_, log: &Log| {
+                log.iter()
+                    .find(|e| !e.is_sched())
+                    .is_none_or(|e| e.pid != Pid(2))
+            })),
+            Conditions::none(),
+        ))
+        .build()
+}
+
+fn gated_upper_iface(broken: bool) -> LayerInterface {
+    LayerInterface::builder("U-gate")
+        .prim(PrimSpec::atomic("gate", |_, _| Ok(Val::Unit)))
+        .prim(PrimSpec::atomic("op", move |ctx, args| {
+            ctx.emit(EventKind::Prim("op".into(), vec![args[0].clone()]));
+            let n = args[0].as_int()?;
+            Ok(Val::Int(if broken && n >= 1 { n + 1 } else { n }))
+        }))
+        .build()
+}
+
+/// Regression: a memoized setup-phase skip (or failure) that consumed
+/// `d > 0` schedule slots must be re-cached for other argument indices at
+/// depth `d`, not at the empty prefix — a depth-0 entry matches every
+/// script of the family, so contexts whose schedules diverge inside the
+/// setup window would inherit the wrong outcome and break sharing
+/// invisibility.
+#[test]
+fn setup_skips_and_failures_stay_keyed_at_their_consumed_depth() {
+    // Every environment pid acts every turn, so which pid the script
+    // schedules first decides whether setup skips (pid 2 first), succeeds
+    // (pids 1, 3 first), or keeps consuming slots (pid 0 — the focused
+    // pid — until the round-robin tail lets an environment pid act).
+    let contexts: Vec<EnvContext> = ContextGen::new(vec![Pid(0), Pid(1), Pid(2), Pid(3)])
+        .with_player(Pid(1), Arc::new(ScratchPlayer::new(Pid(1), Loc(100))))
+        .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), Loc(101))))
+        .with_player(Pid(3), Arc::new(ScratchPlayer::new(Pid(3), Loc(102))))
+        .with_schedule_len(2)
+        .with_max_contexts(16)
+        .with_por(true)
+        .contexts();
+    let lower = gated_lower_iface();
+    // Two argument vectors: the poisoning path needs an inner index > 0
+    // that replays the memoized setup outcome.
+    let args: Vec<Vec<Val>> = (0..2).map(|i| vec![Val::Int(i)]).collect();
+    for broken in [false, true] {
+        let upper = gated_upper_iface(broken);
+        let run = |share: bool, workers: usize, por: bool| {
+            let mut opts = SimOptions::default()
+                .with_prefix_share(share)
+                .with_workers(workers)
+                .with_por(por);
+            opts.setup = vec![("gate".to_owned(), Vec::new())];
+            check_prim_refinement(
+                &lower,
+                "op",
+                &upper,
+                "op",
+                &SimRelation::identity(),
+                Pid(0),
+                &contexts,
+                &args,
+                &opts,
+            )
+        };
+        for por in POR {
+            let reference = run(false, 1, por);
+            if !broken {
+                // The grid must mix skipping and non-skipping setups, or
+                // the scenario exercises nothing.
+                let ev = reference.as_ref().expect("honest pair verifies");
+                assert!(ev.cases_skipped > 0, "some setups must skip");
+                assert!(ev.cases_checked > 0, "some setups must succeed");
+            }
+            for workers in WORKERS {
+                assert_sim_invisible(
+                    &format!("gated-setup broken={broken} workers={workers} por={por}"),
+                    &reference,
+                    &run(true, workers, por),
                 );
             }
         }
