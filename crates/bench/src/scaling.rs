@@ -469,14 +469,22 @@ pub struct PrefixRow {
     pub cases: usize,
     /// Atom-steps executed with prefix sharing off (serial engine).
     pub steps_full: u64,
-    /// Atom-steps executed with prefix sharing on (serial engine).
+    /// Atom-steps executed with prefix sharing on, deep sharing off
+    /// (serial engine).
     pub steps_shared: u64,
+    /// Atom-steps executed with prefix *and* deep (query-point snapshot)
+    /// sharing on (serial engine) — experiment B5d.
+    pub steps_deep: u64,
     /// Memoized lower-run reuses with sharing on (serial engine).
     pub shared_hits: u64,
+    /// Mid-run query-point resumes with deep sharing on (serial engine).
+    pub deep_hits: u64,
     /// Serial wall time, sharing off.
     pub serial_full: Duration,
-    /// Serial wall time, sharing on.
+    /// Serial wall time, sharing on (deep off).
     pub serial_shared: Duration,
+    /// Serial wall time, sharing and deep sharing on.
+    pub serial_deep: Duration,
     /// Parallel wall time, sharing off.
     pub parallel_full: Duration,
     /// Parallel wall time, sharing on.
@@ -492,6 +500,12 @@ impl PrefixRow {
     pub fn step_ratio(&self) -> f64 {
         self.steps_shared as f64 / self.steps_full.max(1) as f64
     }
+
+    /// Deep-over-full atom-step ratio (B5d): lower-machine work left after
+    /// query-point snapshot forking on top of the boundary trie.
+    pub fn deep_ratio(&self) -> f64 {
+        self.steps_deep as f64 / self.steps_full.max(1) as f64
+    }
 }
 
 /// One timed client-layer certification on the B5 configuration (`L1 ⊢
@@ -506,7 +520,12 @@ impl PrefixRow {
 /// counts must not run other checks concurrently (the bench binary and
 /// the serial rows here are fine; unit tests assert only
 /// monotone/structural facts).
-fn certify_prefix(schedule_len: usize, workers: usize, share: bool) -> (usize, u64, u64, Duration) {
+fn certify_prefix(
+    schedule_len: usize,
+    workers: usize,
+    share: bool,
+    deep: bool,
+) -> (usize, u64, u64, u64, Duration) {
     use ccal_core::strategy::ScratchPlayer;
     let b = Loc(0);
     let m2 = ccal_clightx::clightx_module("M2", M2_SOURCE).expect("M2 parses");
@@ -521,7 +540,8 @@ fn certify_prefix(schedule_len: usize, workers: usize, share: bool) -> (usize, u
     let opts = CheckOptions::new(contexts)
         .with_workload("foo", vec![vec![ccal_core::val::Val::Loc(b)]])
         .with_workers(workers)
-        .with_prefix_share(share);
+        .with_prefix_share(share)
+        .with_deep_share(deep);
     let layer = check_fun(
         &lock_interface(),
         &m2,
@@ -536,6 +556,7 @@ fn certify_prefix(schedule_len: usize, workers: usize, share: bool) -> (usize, u
         layer.certificate.total_cases(),
         ccal_core::prefix::steps_total(),
         ccal_core::prefix::shared_total(),
+        ccal_core::prefix::deep_total(),
         elapsed,
     )
 }
@@ -561,22 +582,30 @@ pub fn prefix_row(schedule_len: usize) -> PrefixRow {
 /// As [`prefix_row`].
 pub fn prefix_row_tuned(schedule_len: usize, workers: usize) -> PrefixRow {
     let grid = 3_usize.pow(schedule_len as u32);
-    let (cases, steps_shared, shared_hits, serial_shared) =
-        certify_prefix(schedule_len, 1, true);
-    let (full_cases, steps_full, full_hits, serial_full) = certify_prefix(schedule_len, 1, false);
+    let (cases, steps_shared, shared_hits, _, serial_shared) =
+        certify_prefix(schedule_len, 1, true, false);
+    let (deep_cases, steps_deep, _, deep_hits, serial_deep) =
+        certify_prefix(schedule_len, 1, true, true);
+    let (full_cases, steps_full, full_hits, full_deep, serial_full) =
+        certify_prefix(schedule_len, 1, false, false);
     assert_eq!(cases, full_cases, "sharing changed the discharged cases");
+    assert_eq!(cases, deep_cases, "deep sharing changed the discharged cases");
     assert_eq!(full_hits, 0, "sharing off must not hit the memo");
-    let (_, _, _, parallel_shared) = certify_prefix(schedule_len, workers, true);
-    let (_, _, _, parallel_full) = certify_prefix(schedule_len, workers, false);
+    assert_eq!(full_deep, 0, "sharing off must not resume snapshots");
+    let (_, _, _, _, parallel_shared) = certify_prefix(schedule_len, workers, true, false);
+    let (_, _, _, _, parallel_full) = certify_prefix(schedule_len, workers, false, false);
     PrefixRow {
         schedule_len,
         grid,
         cases,
         steps_full,
         steps_shared,
+        steps_deep,
         shared_hits,
+        deep_hits,
         serial_full,
         serial_shared,
+        serial_deep,
         parallel_full,
         parallel_shared,
         workers,
@@ -596,40 +625,212 @@ pub fn render_prefix_rows(rows: &[PrefixRow]) -> String {
     let workers = rows.first().map_or(0, |r| r.workers);
     let _ = writeln!(
         out,
-        "B5 — prefix-sharing lower-run exploration on the client-layer grid \
+        "B5/B5d — prefix-sharing lower-run exploration on the client-layer grid \
          (foo contender + scratch thread, 3-pid domain, {workers} workers; \
-         steps = atom-steps, serial engine)"
+         steps = atom-steps, serial engine; `deep` = query-point snapshot trie)"
     );
     let _ = writeln!(
         out,
-        "{:>4} {:>6} {:>7} {:>12} {:>12} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "{:>4} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7} {:>7} {:>6} {:>6} {:>12} {:>12} {:>12}",
         "len",
         "grid",
         "cases",
         "steps/full",
         "steps/share",
+        "steps/deep",
         "hits",
+        "d-hits",
         "ratio",
+        "d-rat",
         "ser/full",
         "ser/share",
-        "par/full",
-        "par/share"
+        "ser/deep"
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{:>4} {:>6} {:>7} {:>12} {:>12} {:>7} {:>5.2} {:>12?} {:>12?} {:>12?} {:>12?}",
+            "{:>4} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7} {:>7} {:>5.2} {:>5.2} {:>12?} {:>12?} {:>12?}",
             row.schedule_len,
             row.grid,
             row.cases,
             row.steps_full,
             row.steps_shared,
+            row.steps_deep,
             row.shared_hits,
+            row.deep_hits,
             row.step_ratio(),
+            row.deep_ratio(),
             row.serial_full,
             row.serial_shared,
-            row.parallel_full,
-            row.parallel_shared,
+            row.serial_deep,
+        );
+    }
+    out
+}
+
+/// One row of the deep-sharing study (experiment B5d) on the
+/// *interpreted* ticket stack — the workload PR 4's whole-outcome memo
+/// cannot reach: `acq` fetches a ticket and then spins on `get_n`,
+/// querying the environment between polls, so a run consumes most of its
+/// script and rarely shares a whole consumed prefix. Query-point
+/// snapshots cut inside the spin loop: every poll is a fork point, so two
+/// contexts agreeing on the first `k` schedule digits pay for those `k`
+/// digits once, machine-state included.
+#[derive(Debug, Clone)]
+pub struct DeepRow {
+    /// Schedule prefix length.
+    pub schedule_len: usize,
+    /// Contexts in the (3-pid) grid.
+    pub grid: usize,
+    /// Checking cases discharged (identical across all three engines).
+    pub cases: usize,
+    /// Atom-steps with sharing off entirely.
+    pub steps_full: u64,
+    /// Atom-steps with whole-outcome + boundary sharing (PR-4 tier).
+    pub steps_shared: u64,
+    /// Atom-steps with query-point snapshot sharing on top.
+    pub steps_deep: u64,
+    /// Whole-outcome/boundary reuses in the deep run.
+    pub shared_hits: u64,
+    /// Mid-run query-point resumes in the deep run.
+    pub deep_hits: u64,
+    /// Serial wall time, boundary sharing only.
+    pub serial_shared: Duration,
+    /// Serial wall time, deep sharing on.
+    pub serial_deep: Duration,
+}
+
+impl DeepRow {
+    /// The B5d acceptance metric: deep-share atom-steps over
+    /// boundary-share atom-steps — the work the query-point trie removes
+    /// *beyond* what PR 4's sharing already removed.
+    pub fn deep_over_shared(&self) -> f64 {
+        self.steps_deep as f64 / self.steps_shared.max(1) as f64
+    }
+
+    /// Deep-share atom-steps over the memo-free baseline.
+    pub fn deep_over_full(&self) -> f64 {
+        self.steps_deep as f64 / self.steps_full.max(1) as f64
+    }
+}
+
+/// One serial interpreted-ticket certification (`L0 ⊢ M1 : L1`, `acq` +
+/// `rel` workloads, ticket contender + scratch thread over a 3-pid
+/// domain) with the sharing tiers set explicitly, returning discharged
+/// cases, the process-global step/reuse counters, and wall time.
+fn certify_ticket_prefix(
+    schedule_len: usize,
+    share: bool,
+    deep: bool,
+) -> (usize, u64, u64, u64, Duration) {
+    use ccal_core::strategy::ScratchPlayer;
+    let b = Loc(0);
+    let m1 = m1_module().expect("M1 parses");
+    let contexts = ContextGen::new(vec![Pid(0), Pid(1), Pid(2)])
+        .with_player(Pid(1), Arc::new(TicketEnvPlayer::new(Pid(1), b, 1)))
+        .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), Loc(100))))
+        .with_schedule_len(schedule_len)
+        .with_max_contexts(3_usize.pow(schedule_len as u32))
+        .contexts();
+    ccal_core::prefix::steps_reset();
+    let start = Instant::now();
+    let opts = CheckOptions::new(contexts)
+        .with_workload("acq", vec![vec![ccal_core::val::Val::Loc(b)]])
+        .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]])
+        .with_workers(1)
+        .with_prefix_share(share)
+        .with_deep_share(deep);
+    let layer = check_fun(
+        &l0_interface(),
+        &m1,
+        &lock_low_interface(),
+        &SimRelation::identity(),
+        Pid(0),
+        &opts,
+    )
+    .expect("B5d certification succeeds");
+    let elapsed = start.elapsed();
+    (
+        layer.certificate.total_cases(),
+        ccal_core::prefix::steps_total(),
+        ccal_core::prefix::shared_total(),
+        ccal_core::prefix::deep_total(),
+        elapsed,
+    )
+}
+
+/// Runs the B5d comparison at one schedule length (serial engine — the
+/// step counters are the metric and they are only deterministic there).
+///
+/// # Panics
+///
+/// Panics if certification fails or any sharing tier changes the
+/// discharged cases.
+pub fn deep_row(schedule_len: usize) -> DeepRow {
+    let grid = 3_usize.pow(schedule_len as u32);
+    let (cases, steps_shared, _, boundary_deep, serial_shared) =
+        certify_ticket_prefix(schedule_len, true, false);
+    assert_eq!(boundary_deep, 0, "deep off must not resume snapshots");
+    let (deep_cases, steps_deep, shared_hits, deep_hits, serial_deep) =
+        certify_ticket_prefix(schedule_len, true, true);
+    let (full_cases, steps_full, full_hits, _, _) = certify_ticket_prefix(schedule_len, false, false);
+    assert_eq!(cases, deep_cases, "deep sharing changed the discharged cases");
+    assert_eq!(cases, full_cases, "sharing changed the discharged cases");
+    assert_eq!(full_hits, 0, "sharing off must not hit the memo");
+    DeepRow {
+        schedule_len,
+        grid,
+        cases,
+        steps_full,
+        steps_shared,
+        steps_deep,
+        shared_hits,
+        deep_hits,
+        serial_shared,
+        serial_deep,
+    }
+}
+
+/// Renders already-computed B5d rows.
+pub fn render_deep_rows(rows: &[DeepRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "B5d — query-point snapshot trie on the interpreted ticket stack \
+         (acq spin loop, ticket contender + scratch thread, 3-pid domain, \
+         serial engine; ratio = deep/share atom-steps)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7} {:>7} {:>6} {:>12} {:>12}",
+        "len",
+        "grid",
+        "cases",
+        "steps/full",
+        "steps/share",
+        "steps/deep",
+        "hits",
+        "d-hits",
+        "ratio",
+        "ser/share",
+        "ser/deep"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7} {:>7} {:>5.2} {:>12?} {:>12?}",
+            row.schedule_len,
+            row.grid,
+            row.cases,
+            row.steps_full,
+            row.steps_shared,
+            row.steps_deep,
+            row.shared_hits,
+            row.deep_hits,
+            row.deep_over_shared(),
+            row.serial_shared,
+            row.serial_deep,
         );
     }
     out
@@ -680,6 +881,20 @@ mod tests {
         assert!(
             row.shared_hits > 0,
             "the trie must reuse at least one lower run on the 3^4 grid"
+        );
+    }
+
+    #[test]
+    fn query_point_snapshots_cut_into_the_ticket_spin() {
+        // As above: only structural facts here (the step counters are
+        // process-global); the hard ≤0.7 deep/share gate lives in the
+        // `prefix_sharing` bench binary.
+        let row = deep_row(3);
+        assert_eq!(row.grid, 27);
+        assert!(row.cases > 0);
+        assert!(
+            row.deep_hits > 0,
+            "the snapshot trie must resume at least one mid-spin run on the 3^3 grid"
         );
     }
 

@@ -95,7 +95,7 @@ enum WItem {
     Loop(Stmt),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CFrame {
     func: Arc<CFunction>,
     locals: BTreeMap<String, Val>,
@@ -308,6 +308,21 @@ impl PrimRun for CRun {
                 },
             }
         }
+    }
+
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        let pending = match &self.pending {
+            Some((sub, dst)) => Some((sub.fork()?, dst.clone())),
+            None => None,
+        };
+        Some(Box::new(CRun {
+            module: self.module.clone(),
+            frames: self.frames.clone(),
+            pending,
+            budget: self.budget,
+            init_error: self.init_error.clone(),
+            result: self.result.clone(),
+        }))
     }
 }
 

@@ -377,6 +377,23 @@ impl CheckOptions {
         self
     }
 
+    /// Enables or disables deep prefix-sharing: forking the lower machine
+    /// at every environment query point (see [`crate::prefix::SnapshotTrie`]).
+    /// Effective only when prefix-sharing is on.
+    #[must_use]
+    pub fn with_deep_share(mut self, deep_share: bool) -> Self {
+        self.sim.deep_share = deep_share;
+        self
+    }
+
+    /// Bounds the query-point snapshot trie (clamped to at least 1; the
+    /// trie is cleared wholesale when full).
+    #[must_use]
+    pub fn with_snapshot_cap(mut self, cap: usize) -> Self {
+        self.sim.snapshot_cap = cap.max(1);
+        self
+    }
+
     fn sim_for(&self, prim: &str) -> SimOptions {
         let mut sim = self.sim.clone();
         if let Some(setup) = self.setups.get(prim) {

@@ -53,6 +53,99 @@ struct Player {
     done: bool,
 }
 
+impl Player {
+    fn fork(&self) -> Option<Player> {
+        let run = match &self.run {
+            Some(r) => Some(r.fork_run()?),
+            None => None,
+        };
+        Some(Player {
+            script: self.script.clone(),
+            next_call: self.next_call,
+            run,
+            rets: self.rets.clone(),
+            done: self.done,
+        })
+    }
+}
+
+/// The complete mutable state of an in-flight game: every focused
+/// player's script position, accumulated returns and in-flight
+/// [`PrimRun`], the abstract state, the global log, and the turn/stall
+/// accounting. A [`GameState`] plus a [`ConcurrentMachine`] (interface,
+/// environment, fuel) determine the rest of the run — which is what makes
+/// a forked state a valid snapshot for the query-point trie
+/// ([`crate::prefix::SnapshotTrie`]): each turn consumes exactly one
+/// schedule slot, so a state at turn `k` can resume under any context
+/// agreeing on the first `k` slots.
+pub struct GameState {
+    players: BTreeMap<Pid, Player>,
+    abs: AbsState,
+    log: Log,
+    turns: u64,
+    last_progress: (usize, usize, usize),
+    stalled_for: u64,
+}
+
+impl GameState {
+    /// Schedule slots consumed so far — exactly one scheduler decision is
+    /// taken per turn.
+    pub fn sched_consumed(&self) -> usize {
+        usize::try_from(self.turns).unwrap_or(usize::MAX)
+    }
+
+    /// Whether every focused player has finished its script.
+    pub fn all_done(&self) -> bool {
+        self.players.values().all(|p| p.done)
+    }
+
+    /// Events in the global log so far — the work proxy the checkers'
+    /// prefix-sharing accounting uses when resuming from a snapshot.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Forks the state for resumption under another environment context
+    /// that agrees on the consumed schedule prefix. Returns `None` when
+    /// any in-flight run does not support [`PrimRun::fork_run`].
+    pub fn fork(&self) -> Option<GameState> {
+        let mut players = BTreeMap::new();
+        for (pid, p) in &self.players {
+            players.insert(*pid, p.fork()?);
+        }
+        Some(GameState {
+            players,
+            abs: self.abs.clone(),
+            log: self.log.clone(),
+            turns: self.turns,
+            last_progress: self.last_progress,
+            stalled_for: self.stalled_for,
+        })
+    }
+
+    fn into_outcome(self) -> ConcurrentOutcome {
+        ConcurrentOutcome {
+            log: self.log,
+            abs: self.abs,
+            rets: self
+                .players
+                .into_iter()
+                .map(|(p, st)| (p, st.rets))
+                .collect(),
+            turns: self.turns,
+        }
+    }
+}
+
+impl fmt::Debug for GameState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GameState")
+            .field("turns", &self.turns)
+            .field("log_len", &self.log.len())
+            .finish()
+    }
+}
+
 /// The machine for a focused set `A` over an interface `L`, with an
 /// environment context for the scheduler and all non-focused participants.
 pub struct ConcurrentMachine {
@@ -114,27 +207,55 @@ impl ConcurrentMachine {
         &self,
         programs: &BTreeMap<Pid, ThreadScript>,
     ) -> (Result<ConcurrentOutcome, MachineError>, Log) {
-        let mut log = Log::new();
-        let res = self.run_impl(programs, &mut log);
-        let log_at_end = match &res {
-            Ok(out) => out.log.clone(),
-            Err(_) => log,
-        };
-        (res, log_at_end)
+        self.run_traced_with_snapshots(programs, &mut |_| {})
     }
 
-    fn run_impl(
+    /// [`ConcurrentMachine::run_traced`] with a snapshot hook invoked just
+    /// *before* every scheduler decision — the cut points of the
+    /// query-point snapshot trie. At hook time the state has consumed
+    /// exactly [`GameState::sched_consumed`] schedule slots.
+    pub fn run_traced_with_snapshots(
         &self,
         programs: &BTreeMap<Pid, ThreadScript>,
-        log: &mut Log,
-    ) -> Result<ConcurrentOutcome, MachineError> {
+        hook: &mut dyn FnMut(&GameState),
+    ) -> (Result<ConcurrentOutcome, MachineError>, Log) {
+        self.run_traced_from(self.init_state(programs), hook)
+    }
+
+    /// Drives a [`GameState`] — fresh from
+    /// [`ConcurrentMachine::init_state`] or forked from a snapshot — to
+    /// completion, with the same snapshot hook as
+    /// [`ConcurrentMachine::run_traced_with_snapshots`]. A forked state
+    /// must be resumed on a machine whose environment context agrees with
+    /// the snapshot's on the schedule prefix already consumed.
+    pub fn run_traced_from(
+        &self,
+        mut st: GameState,
+        hook: &mut dyn FnMut(&GameState),
+    ) -> (Result<ConcurrentOutcome, MachineError>, Log) {
+        while !st.all_done() {
+            hook(&st);
+            if let Err(e) = self.step_turn(&mut st) {
+                return (Err(e), st.log);
+            }
+        }
+        let log = st.log.clone();
+        (Ok(st.into_outcome()), log)
+    }
+
+    /// Initializes the game state for a program assignment.
+    ///
+    /// # Panics
+    ///
+    /// If a program is given for a participant outside the focused set.
+    pub fn init_state(&self, programs: &BTreeMap<Pid, ThreadScript>) -> GameState {
         for pid in programs.keys() {
             assert!(
                 self.focused.contains(*pid),
                 "program given for non-focused participant {pid}"
             );
         }
-        let mut players: BTreeMap<Pid, Player> = self
+        let players: BTreeMap<Pid, Player> = self
             .focused
             .iter()
             .map(|pid| {
@@ -152,64 +273,70 @@ impl ConcurrentMachine {
                 )
             })
             .collect();
-        let mut abs = self.iface.init_abs.clone();
-        let mut turns = 0_u64;
-        // Stall detection: if no observable progress (non-scheduling
-        // events, completed calls, finished players) happens for this many
-        // consecutive turns, the game is livelocked — report starvation
-        // early instead of burning the whole budget on scheduling events.
-        let stall_limit: u64 = 64 * (self.focused.len() as u64 + 4);
-        let mut last_progress = (0_usize, 0_usize, 0_usize);
-        let mut stalled_for = 0_u64;
+        GameState {
+            players,
+            abs: self.iface.init_abs.clone(),
+            log: Log::new(),
+            turns: 0,
+            last_progress: (0, 0, 0),
+            stalled_for: 0,
+        }
+    }
 
-        while players.values().any(|p| !p.done) {
-            if turns >= self.fuel {
+    /// Takes one turn: one scheduler decision, then either an environment
+    /// player's move or a focused player's advance to its next query
+    /// point. Callers must check [`GameState::all_done`] first.
+    ///
+    /// Stall detection: if no observable progress (non-scheduling events,
+    /// completed calls, finished players) happens for `64 * (|A| + 4)`
+    /// consecutive turns, the game is livelocked — report starvation early
+    /// instead of burning the whole budget on scheduling events. The stall
+    /// counters live in the [`GameState`] so a forked snapshot resumes
+    /// with *identical* stall behavior.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConcurrentMachine::run`].
+    pub fn step_turn(&self, st: &mut GameState) -> Result<(), MachineError> {
+        if st.turns >= self.fuel {
+            return Err(MachineError::OutOfFuel { budget: self.fuel });
+        }
+        let stall_limit: u64 = 64 * (self.focused.len() as u64 + 4);
+        let progress = (
+            st.log.as_slice().iter().filter(|e| !e.is_sched()).count(),
+            st.players.values().map(|p| p.rets.len()).sum::<usize>(),
+            st.players.values().filter(|p| p.done).count(),
+        );
+        if progress == st.last_progress {
+            st.stalled_for += 1;
+            if st.stalled_for > stall_limit {
                 return Err(MachineError::OutOfFuel { budget: self.fuel });
             }
-            let progress = (
-                log.as_slice().iter().filter(|e| !e.is_sched()).count(),
-                players.values().map(|p| p.rets.len()).sum::<usize>(),
-                players.values().filter(|p| p.done).count(),
-            );
-            if progress == last_progress {
-                stalled_for += 1;
-                if stalled_for > stall_limit {
-                    return Err(MachineError::OutOfFuel { budget: self.fuel });
-                }
-            } else {
-                last_progress = progress;
-                stalled_for = 0;
-            }
-            turns += 1;
-            // One scheduler decision.
-            let target = self.schedule_one(log)?;
-            if !self.focused.contains(target) {
-                // Environment participant: play its strategy move.
-                match self.env.player(target).next_move(log) {
-                    StrategyMove::Emit(evs) => log.append_all(evs),
-                    StrategyMove::Finish(_) => {}
-                    StrategyMove::Stuck => {
-                        return Err(MachineError::Env(crate::env::EnvError::PlayerStuck {
-                            pid: target,
-                            log_len: log.len(),
-                        }));
-                    }
-                }
-                self.check_rely(log)?;
-                continue;
-            }
-            // Focused participant: advance to its next query point.
-            let player = players.get_mut(&target).expect("focused player exists");
-            self.advance_player(target, player, log, &mut abs)?;
-            self.check_guarantee(target, log)?;
+        } else {
+            st.last_progress = progress;
+            st.stalled_for = 0;
         }
-        let rets = players.into_iter().map(|(p, st)| (p, st.rets)).collect();
-        Ok(ConcurrentOutcome {
-            log: log.clone(),
-            abs,
-            rets,
-            turns,
-        })
+        st.turns += 1;
+        // One scheduler decision.
+        let target = self.schedule_one(&mut st.log)?;
+        if !self.focused.contains(target) {
+            // Environment participant: play its strategy move.
+            match self.env.player(target).next_move(&st.log) {
+                StrategyMove::Emit(evs) => st.log.append_all(evs),
+                StrategyMove::Finish(_) => {}
+                StrategyMove::Stuck => {
+                    return Err(MachineError::Env(crate::env::EnvError::PlayerStuck {
+                        pid: target,
+                        log_len: st.log.len(),
+                    }));
+                }
+            }
+            return self.check_rely(&st.log);
+        }
+        // Focused participant: advance to its next query point.
+        let player = st.players.get_mut(&target).expect("focused player exists");
+        self.advance_player(target, player, &mut st.log, &mut st.abs)?;
+        self.check_guarantee(target, &st.log)
     }
 
     /// Asks the scheduler strategy for exactly one scheduling event.

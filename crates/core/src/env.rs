@@ -191,36 +191,57 @@ impl EnvContext {
     ///   rely condition.
     pub fn extend_until_focused(&self, focused: &PidSet, log: &mut Log) -> Result<Pid, EnvError> {
         for _ in 0..self.fuel {
-            let target = match self.scheduler.next_move(log) {
-                StrategyMove::Emit(evs) => match evs.as_slice() {
-                    [e] => {
-                        if let EventKind::HwSched(p) = e.kind {
-                            log.append(e.clone());
-                            p
-                        } else {
-                            return Err(EnvError::SchedulerStuck { log_len: log.len() });
-                        }
-                    }
-                    _ => return Err(EnvError::SchedulerStuck { log_len: log.len() }),
-                },
-                _ => return Err(EnvError::SchedulerStuck { log_len: log.len() }),
-            };
-            if focused.contains(target) {
-                return Ok(target);
-            }
-            match self.player(target).next_move(log) {
-                StrategyMove::Emit(evs) => log.append_all(evs),
-                StrategyMove::Finish(_) => {}
-                StrategyMove::Stuck => {
-                    return Err(EnvError::PlayerStuck {
-                        pid: target,
-                        log_len: log.len(),
-                    });
-                }
+            if let Some(p) = self.extend_one(focused, log)? {
+                return Ok(p);
             }
         }
         Err(EnvError::Unfair { fuel: self.fuel })
     }
+
+    /// One turn of the query process: asks the scheduler for the next
+    /// participant and, when it is outside `focused`, plays that
+    /// participant's strategy move. All generated events are appended to
+    /// `log`; returns the scheduled pid when control transferred to
+    /// `focused` (whose strategy does *not* run), `None` otherwise. Each
+    /// turn consumes exactly one schedule slot, which makes the machine
+    /// state after it a per-slot cut point for the query-point snapshot
+    /// trie (see [`crate::machine::LayerMachine::drive_with_snapshots`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`EnvContext::extend_until_focused`], minus the fairness bound
+    /// (a single turn cannot be unfair; the caller owns the loop).
+    pub fn extend_one(&self, focused: &PidSet, log: &mut Log) -> Result<Option<Pid>, EnvError> {
+        let target = match self.scheduler.next_move(log) {
+            StrategyMove::Emit(evs) => match evs.as_slice() {
+                [e] => {
+                    if let EventKind::HwSched(p) = e.kind {
+                        log.append(e.clone());
+                        p
+                    } else {
+                        return Err(EnvError::SchedulerStuck { log_len: log.len() });
+                    }
+                }
+                _ => return Err(EnvError::SchedulerStuck { log_len: log.len() }),
+            },
+            _ => return Err(EnvError::SchedulerStuck { log_len: log.len() }),
+        };
+        if focused.contains(target) {
+            return Ok(Some(target));
+        }
+        match self.player(target).next_move(log) {
+            StrategyMove::Emit(evs) => log.append_all(evs),
+            StrategyMove::Finish(_) => {}
+            StrategyMove::Stuck => {
+                return Err(EnvError::PlayerStuck {
+                    pid: target,
+                    log_len: log.len(),
+                });
+            }
+        }
+        Ok(None)
+    }
+
 }
 
 impl fmt::Debug for EnvContext {

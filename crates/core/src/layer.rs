@@ -114,6 +114,38 @@ pub trait PrimRun: Send {
     /// invocation is undefined at the current state — the paper's partial
     /// specification "gets stuck" (Fig. 6).
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError>;
+
+    /// Forks the run at its current internal state, producing an
+    /// independent copy that resumes identically. This is what lets the
+    /// query-point snapshot trie ([`crate::prefix::SnapshotTrie`]) capture
+    /// a machine *mid-primitive*: at a query point the run's private state
+    /// plus the machine state determine the rest of the execution, so a
+    /// forked pair diverges only through the events their environments
+    /// append.
+    ///
+    /// The default returns `None` (not forkable); snapshotting drivers
+    /// then simply skip the cut point, which is always sound. Implement it
+    /// (typically `Some(Box::new(self.clone()))`) for runs whose state is
+    /// cheaply clonable.
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        None
+    }
+}
+
+/// A [`PrimRun`] that is already finished: resuming returns the stored
+/// value. Used by [`SubCall::fork`] to stand in for a completed callee —
+/// the original run is never resumed again once `done` is set, so the stub
+/// is observationally equivalent.
+struct CompletedRun(Val);
+
+impl PrimRun for CompletedRun {
+    fn resume(&mut self, _ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
+        Ok(PrimStep::Done(self.0.clone()))
+    }
+
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(CompletedRun(self.0.clone())))
+    }
 }
 
 /// Helper for module code that calls a primitive of its underlay: drives a
@@ -162,6 +194,24 @@ impl SubCall {
             }
         }
     }
+
+    /// Forks the sub-call for a query-point snapshot. A completed call
+    /// forks into a stub replaying the finished value (the real run is
+    /// never resumed after completion); an in-flight call forks its inner
+    /// run via [`PrimRun::fork_run`], returning `None` when the callee
+    /// does not support forking.
+    pub fn fork(&self) -> Option<SubCall> {
+        if let Some(v) = &self.done {
+            return Some(SubCall {
+                run: Box::new(CompletedRun(v.clone())),
+                done: Some(v.clone()),
+            });
+        }
+        Some(SubCall {
+            run: self.run.fork_run()?,
+            done: None,
+        })
+    }
 }
 
 impl fmt::Debug for SubCall {
@@ -183,6 +233,7 @@ pub struct PrimSpec {
     factory: Arc<PrimFactory>,
 }
 
+#[derive(Clone)]
 struct AtomicRun {
     queried: bool,
     needs_query: bool,
@@ -198,6 +249,10 @@ impl PrimRun for AtomicRun {
         }
         let ret = (self.body)(ctx, &self.args)?;
         Ok(PrimStep::Done(ret))
+    }
+
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
     }
 }
 

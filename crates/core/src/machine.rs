@@ -228,9 +228,11 @@ impl LayerMachine {
     /// append — the mechanism behind sharing a common schedule prefix
     /// across grid contexts ([`crate::prefix`]).
     ///
-    /// Forking is only meaningful *between* primitive calls: an in-flight
-    /// [`PrimRun`] lives on the [`LayerMachine::drive`] stack, outside the
-    /// machine state, so a snapshot never captures half a primitive.
+    /// On its own, forking captures the machine *between* primitive calls:
+    /// an in-flight [`PrimRun`] lives on the [`LayerMachine::drive`] stack,
+    /// outside the machine state. To snapshot mid-primitive, pair the fork
+    /// with [`crate::layer::PrimRun::fork_run`] on the in-flight run at a
+    /// query point — see [`LayerMachine::drive_with_snapshots`].
     pub fn fork(&self) -> Self {
         self.clone()
     }
@@ -332,6 +334,160 @@ impl LayerMachine {
                 PrimStep::Done(v) => return Ok(v),
             }
         }
+    }
+
+    /// Like [`LayerMachine::call_prim`], additionally invoking `hook` at
+    /// every query point reached outside the critical state — *before*
+    /// environment events are delivered — and again after every delivered
+    /// environment turn. These are the cut points of the query-point
+    /// snapshot trie ([`crate::prefix::SnapshotTrie`]): the machine state
+    /// plus a [`PrimRun::fork_run`] of the in-flight run fully determine
+    /// the rest of the execution, and the schedule prefix consumed so far
+    /// is exactly the sched events in the log. Per-turn hooks matter
+    /// because one delivery can consume several schedule slots: without
+    /// them, contexts diverging *inside* a delivery would share no cut
+    /// point deeper than the query that started it.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerMachine::call_prim`].
+    pub fn call_prim_with_snapshots(
+        &mut self,
+        name: &str,
+        args: &[Val],
+        hook: &mut dyn FnMut(&Self, &dyn PrimRun),
+    ) -> Result<Val, MachineError> {
+        let run = self.iface.prim(name)?.instantiate(self.pid, args.to_vec());
+        self.drive_with_snapshots(run, hook)
+    }
+
+    /// [`LayerMachine::drive`] with a snapshot hook at non-critical query
+    /// points and after each delivered environment turn (critical-state
+    /// queries skip environment delivery entirely, so no snapshot is lost
+    /// by skipping the hook there too).
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerMachine::drive`].
+    pub fn drive_with_snapshots(
+        &mut self,
+        mut run: Box<dyn PrimRun>,
+        hook: &mut dyn FnMut(&Self, &dyn PrimRun),
+    ) -> Result<Val, MachineError> {
+        loop {
+            self.consume_fuel()?;
+            let step = {
+                let mut ctx = PrimCtx {
+                    pid: self.pid,
+                    abs: &mut self.abs,
+                    log: &mut self.log,
+                    iface: &self.iface,
+                };
+                run.resume(&mut ctx)?
+            };
+            self.check_guarantee()?;
+            match step {
+                PrimStep::Query => {
+                    if self.in_critical() {
+                        self.deliver_env()?;
+                    } else {
+                        hook(self, run.as_ref());
+                        self.deliver_env_with_snapshots(run.as_ref(), hook)?;
+                    }
+                }
+                PrimStep::Done(v) => return Ok(v),
+            }
+        }
+    }
+
+    /// [`LayerMachine::deliver_env`] invoking `hook` after every delivered
+    /// environment turn except the final control transfer (whose machine
+    /// state the *next* query point's hook captures, after the local steps
+    /// in between). Each turn consumes one schedule slot, so these are the
+    /// per-slot interior cut points between two query points: the machine
+    /// state after a turn is fully log-determined, and a fork resumed via
+    /// [`LayerMachine::resume_query`] re-enters the delivery loop with the
+    /// scheduler continuing from the recorded scheduling events.
+    ///
+    /// A resumed delivery restarts the per-delivery fairness budget at the
+    /// cut point, so a fresh run and a resumed run can disagree about an
+    /// [`EnvError::Unfair`] verdict in principle — but only contexts built
+    /// by [`crate::contexts::ContextGen`] carry the schedule key that
+    /// snapshot sharing requires, and their script-then-round-robin
+    /// schedulers return control within one domain round, far inside any
+    /// fairness budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerMachine::deliver_env`].
+    fn deliver_env_with_snapshots(
+        &mut self,
+        run: &dyn PrimRun,
+        hook: &mut dyn FnMut(&Self, &dyn PrimRun),
+    ) -> Result<(), MachineError> {
+        self.deliver_env_each_turn(&mut |m| hook(m, run))
+    }
+
+    /// The run-free core of [`LayerMachine::deliver_env_with_snapshots`]:
+    /// delivers environment events like [`LayerMachine::deliver_env`],
+    /// invoking `hook` after every delivered turn. Public for callers that
+    /// flush trailing environment events with no in-flight run — the cut
+    /// points there carry the already-computed return value instead of a
+    /// [`PrimRun`] fork.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerMachine::deliver_env`].
+    pub fn deliver_env_each_turn(
+        &mut self,
+        hook: &mut dyn FnMut(&Self),
+    ) -> Result<(), MachineError> {
+        if self.in_critical() {
+            return Ok(());
+        }
+        let mut returned = false;
+        for _ in 0..self.env.fuel() {
+            if self.env.extend_one(&self.focused, &mut self.log)?.is_some() {
+                returned = true;
+                break;
+            }
+            hook(self);
+        }
+        if !returned {
+            return Err(MachineError::Env(EnvError::Unfair {
+                fuel: self.env.fuel(),
+            }));
+        }
+        if let Some(inv) = self
+            .iface
+            .conditions
+            .rely
+            .first_violation(self.pid, &self.log)
+        {
+            return Err(MachineError::RelyViolated {
+                invariant: inv.name().to_owned(),
+                pid: self.pid,
+            });
+        }
+        Ok(())
+    }
+
+    /// Continues a run captured at a query point by the
+    /// [`LayerMachine::drive_with_snapshots`] hook: delivers the pending
+    /// environment events (the snapshot was taken just *before* delivery),
+    /// then drives the run to completion with the same hook. Fuel
+    /// sequencing matches a fresh execution exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`LayerMachine::drive`].
+    pub fn resume_query(
+        &mut self,
+        run: Box<dyn PrimRun>,
+        hook: &mut dyn FnMut(&Self, &dyn PrimRun),
+    ) -> Result<Val, MachineError> {
+        self.deliver_env_with_snapshots(run.as_ref(), hook)?;
+        self.drive_with_snapshots(run, hook)
     }
 
     /// Checks the guarantee condition on the current log.

@@ -25,12 +25,31 @@
 //! is the same pure log function for every context of the grid (same
 //! domain), so two contexts with equal full scripts are equal contexts.
 //!
+//! # Query-point snapshots
+//!
+//! Whole-outcome memoization cannot help a long multi-query primitive
+//! (e.g. the interpreted ticket `acq`, which spins on `get_n` querying the
+//! environment between polls): such a run consumes most or all of its
+//! script, so no other context shares its *whole* consumed prefix. But
+//! every query point is a cut point — the machine state plus a fork of the
+//! in-flight run ([`crate::layer::PrimRun::fork_run`]) determine the rest
+//! of the execution, and the schedule prefix consumed so far is exactly
+//! the sched events in the log. [`SnapshotTrie`] stores such mid-run
+//! snapshots keyed by consumed prefix: exploring a new context walks to
+//! the *deepest* ancestor snapshot, forks it (cheap, Arc/COW-backed), and
+//! executes only the suffix. Unlike [`PrefixMemo`] — where at most one
+//! stored prefix can apply — many snapshots along a script's path apply
+//! simultaneously; resuming from any of them yields the same outcome by
+//! determinism, so the choice affects work done, never verdicts.
+//!
 //! Only contexts minted by [`crate::contexts::ContextGen`] carry a
 //! [`ScheduleKey`]; hand-built contexts (notably the forensics replay
 //! engine's scripted contexts) have none and structurally bypass the memo.
 //!
 //! `CCAL_PREFIX_SHARE=0` is the process-wide escape hatch, mirroring
-//! `CCAL_POR` ([`crate::por::por_enabled`]).
+//! `CCAL_POR` ([`crate::por::por_enabled`]); `CCAL_PREFIX_DEEP=0`
+//! additionally disables only the query-point snapshot layer, keeping
+//! PR-4-style whole-outcome sharing on.
 //!
 //! [`ScriptScheduler`]: crate::strategy::ScriptScheduler
 
@@ -75,6 +94,32 @@ fn warn_bad_share_once(raw: &str) {
         eprintln!(
             "ccal: ignoring unparseable CCAL_PREFIX_SHARE={raw:?} (expected a \
              non-negative integer; 0 disables prefix sharing)"
+        );
+    });
+}
+
+/// Whether query-point (deep) snapshot sharing is enabled for this
+/// process. Same grammar and caching as [`prefix_share_enabled`], read
+/// from `CCAL_PREFIX_DEEP`. Deep sharing is additionally subordinate to
+/// prefix sharing: checkers only consult the snapshot trie when both are
+/// on.
+pub fn prefix_deep_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("CCAL_PREFIX_DEEP") {
+        Ok(v) => parse_share(&v).unwrap_or_else(|| {
+            warn_bad_deep_once(&v);
+            true
+        }),
+        Err(_) => true,
+    })
+}
+
+fn warn_bad_deep_once(raw: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "ccal: ignoring unparseable CCAL_PREFIX_DEEP={raw:?} (expected a \
+             non-negative integer; 0 disables query-point snapshot sharing)"
         );
     });
 }
@@ -211,6 +256,114 @@ impl<T: Clone> Default for PrefixMemo<T> {
     }
 }
 
+/// Default cap on live snapshots in a [`SnapshotTrie`] — the same order of
+/// magnitude as [`crate::sim::SimOptions`]'s upper-run cache cap, chosen
+/// to hold a full branching-factor × depth grid of cut points for the
+/// schedule lengths the checkers explore.
+pub const DEFAULT_SNAPSHOT_CAP: usize = 4096;
+
+/// A mid-run machine snapshot that can be forked into an independent copy
+/// per use. The trie stores one *master* per cut point and hands out forks
+/// — masters are never resumed themselves, so an entry stays valid for any
+/// number of contexts. `fork` may return `None` when some captured
+/// component does not support forking; the lookup then falls back to a
+/// shallower snapshot (or a fresh run), which is always sound.
+pub trait ForkSnapshot: Sized + Send {
+    /// Forks an independent copy of the snapshot.
+    fn fork(&self) -> Option<Self>;
+}
+
+/// A schedule-prefix trie of query-point snapshots: per `(family, inner)`
+/// a map from consumed schedule prefix to the machine state captured just
+/// before that query's environment delivery. See the module docs for the
+/// sharing model; `inner` plays the same role as in [`PrefixMemo`] and
+/// must fully determine the execution's input (primitive, arguments,
+/// phase) so that snapshots of one shard are interchangeable.
+///
+/// Memory is bounded by `cap` with clear-on-full eviction (like the sim
+/// checker's upper-run cache): snapshots are a pure work-saving device, so
+/// dropping all of them at once costs re-execution, never correctness.
+pub struct SnapshotTrie<S> {
+    map: Mutex<SnapshotStore<S>>,
+    cap: usize,
+}
+
+struct SnapshotStore<S> {
+    shards: HashMap<(u64, usize), PrefixShard<S>>,
+    len: usize,
+}
+
+impl<S: ForkSnapshot> SnapshotTrie<S> {
+    /// Creates an empty trie holding at most `cap` snapshots (clamped to
+    /// at least 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: Mutex::new(SnapshotStore {
+                shards: HashMap::new(),
+                len: 0,
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Forks the snapshot at the *deepest* stored prefix of `key`'s script
+    /// (deepest saves the most re-execution), reporting the matched depth.
+    /// Unlike [`PrefixMemo::lookup_at`], many stored prefixes can apply at
+    /// once; determinism makes the choice observationally irrelevant.
+    pub fn lookup_deepest(&self, key: &ScheduleKey, inner: usize) -> Option<(usize, S)> {
+        let store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shard = store.shards.get(&(key.family, inner))?;
+        (0..=key.script.len()).rev().find_map(|d| {
+            shard
+                .get(&key.script[..d])
+                .and_then(ForkSnapshot::fork)
+                .map(|s| (d, s))
+        })
+    }
+
+    /// Stores the snapshot produced by `make` under the prefix of `key`'s
+    /// script consumed so far (`consumed` scheduling events, clamped to
+    /// the script length — same soundness argument as
+    /// [`PrefixMemo::insert`]). First insert wins, and `make` is only
+    /// called when the cut point is vacant. When the trie is full, every
+    /// snapshot is evicted before inserting.
+    pub fn insert_with(
+        &self,
+        key: &ScheduleKey,
+        inner: usize,
+        consumed: usize,
+        make: impl FnOnce() -> Option<S>,
+    ) {
+        let depth = consumed.min(key.script.len());
+        let mut store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if store.len >= self.cap {
+            store.shards.clear();
+            store.len = 0;
+        }
+        let shard = store.shards.entry((key.family, inner)).or_default();
+        if shard.contains_key(&key.script[..depth]) {
+            return;
+        }
+        if let Some(snap) = make() {
+            shard.insert(key.script[..depth].to_vec(), snap);
+            store.len += 1;
+        }
+    }
+
+    /// Number of live snapshots across all shards.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len
+    }
+
+    /// Whether no snapshot is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 fn steps_counter() -> &'static AtomicU64 {
     static STEPS: AtomicU64 = AtomicU64::new(0);
     &STEPS
@@ -221,6 +374,11 @@ fn shared_counter() -> &'static AtomicU64 {
     &SHARED
 }
 
+fn deep_counter() -> &'static AtomicU64 {
+    static DEEP: AtomicU64 = AtomicU64::new(0);
+    &DEEP
+}
+
 /// Resets the process-wide lower-run work accounting (both counters).
 /// Benchmarks bracket a checker run with [`steps_reset`] / [`steps_total`]
 /// to measure executed atom-steps; the counters are only meaningful when
@@ -228,6 +386,7 @@ fn shared_counter() -> &'static AtomicU64 {
 pub fn steps_reset() {
     steps_counter().store(0, Ordering::Relaxed);
     shared_counter().store(0, Ordering::Relaxed);
+    deep_counter().store(0, Ordering::Relaxed);
 }
 
 /// Total lower-machine atom-steps executed since the last [`steps_reset`].
@@ -252,6 +411,17 @@ pub fn record_steps(n: u64) {
 /// Records one lower run answered from the memo instead of executed.
 pub fn record_shared() {
     shared_counter().fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one lower run resumed from a [`SnapshotTrie`] snapshot instead
+/// of executed from scratch.
+pub fn record_deep() {
+    deep_counter().fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of lower runs resumed from a snapshot since [`steps_reset`].
+pub fn deep_total() -> u64 {
+    deep_counter().load(Ordering::Relaxed)
 }
 
 /// A queue-order permutation for [`crate::par::run_cases_ordered`] that
@@ -412,6 +582,86 @@ mod tests {
         // rev(1) = 2 (digit reversal of 01 is 10), arg 0.
         assert_eq!(order[1], 1);
         assert_eq!(order[3], 2 * 3);
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Snap(&'static str, bool);
+
+    impl ForkSnapshot for Snap {
+        fn fork(&self) -> Option<Self> {
+            self.1.then(|| self.clone())
+        }
+    }
+
+    #[test]
+    fn snapshot_lookup_prefers_the_deepest_prefix() {
+        let trie = SnapshotTrie::new(16);
+        trie.insert_with(&key(4, &[0, 1, 0]), 0, 1, || Some(Snap("shallow", true)));
+        trie.insert_with(&key(4, &[0, 1, 0]), 0, 2, || Some(Snap("deep", true)));
+        assert_eq!(
+            trie.lookup_deepest(&key(4, &[0, 1, 1]), 0),
+            Some((2, Snap("deep", true)))
+        );
+        // A script diverging after slot 0 only reaches the shallow one.
+        assert_eq!(
+            trie.lookup_deepest(&key(4, &[0, 0, 0]), 0),
+            Some((1, Snap("shallow", true)))
+        );
+        assert_eq!(trie.lookup_deepest(&key(4, &[1, 0, 0]), 0), None);
+    }
+
+    #[test]
+    fn snapshot_unforkable_masters_fall_back_shallower() {
+        let trie = SnapshotTrie::new(16);
+        trie.insert_with(&key(6, &[0, 1]), 0, 1, || Some(Snap("ok", true)));
+        trie.insert_with(&key(6, &[0, 1]), 0, 2, || Some(Snap("stuck", false)));
+        assert_eq!(
+            trie.lookup_deepest(&key(6, &[0, 1]), 0),
+            Some((1, Snap("ok", true)))
+        );
+    }
+
+    #[test]
+    fn snapshot_insert_is_first_wins_and_skips_make_when_present() {
+        let trie = SnapshotTrie::new(16);
+        trie.insert_with(&key(2, &[0, 1]), 0, 1, || Some(Snap("first", true)));
+        let mut called = false;
+        trie.insert_with(&key(2, &[0, 0]), 0, 1, || {
+            called = true;
+            Some(Snap("second", true))
+        });
+        assert!(!called, "make ran for an occupied cut point");
+        assert_eq!(
+            trie.lookup_deepest(&key(2, &[0, 1]), 0),
+            Some((1, Snap("first", true)))
+        );
+        assert_eq!(trie.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_cap_evicts_everything_before_inserting() {
+        let trie = SnapshotTrie::new(2);
+        trie.insert_with(&key(8, &[0, 0]), 0, 1, || Some(Snap("a", true)));
+        trie.insert_with(&key(8, &[1, 0]), 0, 1, || Some(Snap("b", true)));
+        assert_eq!(trie.len(), 2);
+        trie.insert_with(&key(8, &[0, 1]), 0, 2, || Some(Snap("c", true)));
+        assert_eq!(trie.len(), 1, "clear-on-full then insert");
+        assert_eq!(trie.lookup_deepest(&key(8, &[0, 0]), 0), None);
+        assert_eq!(
+            trie.lookup_deepest(&key(8, &[0, 1]), 0),
+            Some((2, Snap("c", true)))
+        );
+    }
+
+    #[test]
+    fn snapshot_consumed_depth_clamps_to_script_length() {
+        let trie = SnapshotTrie::new(16);
+        trie.insert_with(&key(3, &[0, 1]), 0, 9, || Some(Snap("tail", true)));
+        assert_eq!(
+            trie.lookup_deepest(&key(3, &[0, 1]), 0),
+            Some((2, Snap("tail", true)))
+        );
+        assert_eq!(trie.lookup_deepest(&key(3, &[0, 0]), 0), None);
     }
 
     #[test]

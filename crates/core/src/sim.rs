@@ -47,11 +47,14 @@
 //! scripts agree on the prefix the run actually consumes
 //! ([`SimOptions::prefix_share`], see [`crate::prefix`]): the grid is a
 //! schedule-prefix trie, and each distinct consumed prefix is executed
-//! once — including a forked [`LayerMachine`] snapshot of the setup phase,
-//! resumed at the schedule divergence point for contexts that only differ
-//! afterwards. Sharing never changes the verdict, the first failure, or
-//! the evidence, because every shared outcome is exactly what re-execution
-//! would have produced.
+//! once. With [`SimOptions::deep_share`] the trie additionally stores a
+//! forked [`LayerMachine`] snapshot at *every* environment query point —
+//! inside the setup phase, at each query of the checked call, and at its
+//! pre-flush return — so a new context resumes from its deepest
+//! snapshotted ancestor and executes only the schedule suffix
+//! ([`crate::prefix::SnapshotTrie`]). Sharing never changes the verdict,
+//! the first failure, or the evidence, because every shared outcome is
+//! exactly what re-execution would have produced.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -60,7 +63,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::env::EnvContext;
 use crate::event::Event;
 use crate::id::Pid;
-use crate::layer::LayerInterface;
+use crate::layer::{LayerInterface, PrimRun};
 use crate::log::Log;
 use crate::machine::LayerMachine;
 use crate::rely::ProbeSuite;
@@ -359,6 +362,20 @@ pub struct SimOptions {
     /// Defaults to [`crate::prefix::prefix_share_enabled`] (on unless
     /// `CCAL_PREFIX_SHARE=0`).
     pub prefix_share: bool,
+    /// Additionally share *mid-run* snapshots of the lower machine, forked
+    /// at every environment query point ([`crate::prefix::SnapshotTrie`]):
+    /// a long multi-query primitive (e.g. a spinning `acq`) executes once
+    /// along each distinct schedule path, and every context that diverges
+    /// later forks the deepest snapshot and replays only its suffix.
+    /// Effective only when `prefix_share` is on; never changes the verdict
+    /// or the evidence. Defaults to
+    /// [`crate::prefix::prefix_deep_enabled`] (on unless
+    /// `CCAL_PREFIX_DEEP=0`).
+    pub deep_share: bool,
+    /// Capacity cap on the query-point snapshot trie, with the same
+    /// clear-on-full eviction as `upper_cache_cap`: snapshots only save
+    /// work, so eviction costs re-execution, never correctness.
+    pub snapshot_cap: usize,
     /// Capacity cap on the upper-run memo table. When an insert would
     /// exceed the cap the table is cleared (generation eviction), so the
     /// memory footprint stays bounded on huge grids while verdicts and
@@ -382,6 +399,8 @@ impl Default for SimOptions {
             dedup: true,
             por: crate::por::por_enabled(),
             prefix_share: crate::prefix::prefix_share_enabled(),
+            deep_share: crate::prefix::prefix_deep_enabled(),
+            snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
             upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
         }
     }
@@ -413,6 +432,21 @@ impl SimOptions {
     #[must_use]
     pub fn with_prefix_share(mut self, prefix_share: bool) -> Self {
         self.prefix_share = prefix_share;
+        self
+    }
+
+    /// Enables or disables query-point snapshot sharing (effective only
+    /// when `prefix_share` is on).
+    #[must_use]
+    pub fn with_deep_share(mut self, deep_share: bool) -> Self {
+        self.deep_share = deep_share;
+        self
+    }
+
+    /// Caps the query-point snapshot trie (minimum 1 snapshot).
+    #[must_use]
+    pub fn with_snapshot_cap(mut self, cap: usize) -> Self {
+        self.snapshot_cap = cap.max(1);
         self
     }
 
@@ -519,119 +553,205 @@ pub fn check_prim_refinement(
         Failed { lower_log: Log, reason: String },
         Done { lower_log: Log, lower_ret: Val },
     }
-    // Snapshot of the lower machine after the setup calls — forked at the
-    // schedule divergence point and shared across contexts (and argument
-    // vectors) that agree on the prefix setup consumed.
-    #[allow(clippy::items_after_statements)]
-    #[derive(Clone)]
-    enum SetupRun {
-        Skipped,
-        Failed { lower_log: Log, reason: String },
-        Done(LayerMachine),
+    // Mid-run snapshots of the lower machine, keyed by consumed schedule
+    // prefix in one [`crate::prefix::SnapshotTrie`]. Inner index 0 holds
+    // the setup phase (argument-independent): `Abort` for a setup that
+    // skipped or failed, `Setup` for an in-flight setup call captured at a
+    // query point, `PostSetup` for the machine after all setup calls.
+    // Inner index `1 + ai` holds the checked call for argument vector
+    // `ai`: `Call` at each of its query points and delivered environment
+    // turns, and `Return` at its return plus — with deep sharing on — at
+    // every slot of the trailing environment flush (the flush prefix is
+    // identical for every context agreeing on those slots, so deeper
+    // `Return` forks skip re-flushing it). With `deep_share` off only the
+    // phase boundaries (`Abort`/`PostSetup`/pre-flush `Return`) are
+    // stored; the query-point variants additionally need
+    // [`PrimRun::fork_run`].
+    #[allow(clippy::items_after_statements, clippy::large_enum_variant)]
+    enum SimSnap {
+        Abort {
+            outcome: LowerRun,
+        },
+        Setup {
+            machine: LayerMachine,
+            run: Box<dyn PrimRun>,
+            call: usize,
+        },
+        PostSetup {
+            machine: LayerMachine,
+        },
+        Call {
+            machine: LayerMachine,
+            run: Box<dyn PrimRun>,
+        },
+        Return {
+            machine: LayerMachine,
+            lower_ret: Val,
+        },
     }
-    // Snapshot of the lower machine at the *return* of the checked call,
-    // before the trailing environment flush. The flush consumes further
-    // schedule slots (it drains to the next focused turn), so memoizing
-    // the pre-flush machine keys the bulk of the work at a strictly
-    // shallower trie depth: contexts that agree only up to the call's
-    // return fork this snapshot and replay just their own flush.
     #[allow(clippy::items_after_statements)]
-    #[derive(Clone)]
-    struct CallRun {
-        machine: LayerMachine,
-        lower_ret: Val,
+    impl crate::prefix::ForkSnapshot for SimSnap {
+        fn fork(&self) -> Option<Self> {
+            Some(match self {
+                SimSnap::Abort { outcome } => SimSnap::Abort {
+                    outcome: outcome.clone(),
+                },
+                SimSnap::Setup { machine, run, call } => SimSnap::Setup {
+                    machine: machine.fork(),
+                    run: run.fork_run()?,
+                    call: *call,
+                },
+                SimSnap::PostSetup { machine } => SimSnap::PostSetup {
+                    machine: machine.fork(),
+                },
+                SimSnap::Call { machine, run } => SimSnap::Call {
+                    machine: machine.fork(),
+                    run: run.fork_run()?,
+                },
+                SimSnap::Return { machine, lower_ret } => SimSnap::Return {
+                    machine: machine.fork(),
+                    lower_ret: lower_ret.clone(),
+                },
+            })
+        }
     }
     let lower_memo: crate::prefix::PrefixMemo<LowerRun> = crate::prefix::PrefixMemo::new();
-    let setup_memo: crate::prefix::PrefixMemo<SetupRun> = crate::prefix::PrefixMemo::new();
-    let call_memo: crate::prefix::PrefixMemo<CallRun> = crate::prefix::PrefixMemo::new();
+    let snapshots: crate::prefix::SnapshotTrie<SimSnap> =
+        crate::prefix::SnapshotTrie::new(opts.snapshot_cap);
     let share = opts.prefix_share;
-    // Executes the lower half of a case, sharing the setup phase with
-    // earlier runs whose schedule agrees on the prefix setup consumed.
-    // Returns the outcome plus the total consumed schedule prefix length.
-    let exec_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> (LowerRun, usize) {
-        let key = if share { env.schedule_key() } else { None };
-        let mut lower = if opts.setup.is_empty() {
-            LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel)
-        } else {
-            match key.and_then(|k| setup_memo.lookup_at(k, 0)) {
-                // A skip/failure during setup consumed the schedule prefix
-                // the memoized run read — the matched depth, never 0. The
-                // caller re-caches this outcome per argument index, and a
-                // depth-0 entry would match scripts that diverge *inside*
-                // the setup and owe a different verdict.
-                Some((depth, SetupRun::Skipped)) => {
-                    crate::prefix::record_shared();
-                    return (LowerRun::Skipped, depth);
-                }
-                Some((depth, SetupRun::Failed { lower_log, reason })) => {
-                    crate::prefix::record_shared();
-                    return (LowerRun::Failed { lower_log, reason }, depth);
-                }
-                Some((_, SetupRun::Done(snapshot))) => {
-                    // Fork at the divergence point: the snapshot's log was
-                    // produced under a script agreeing with `env`'s on
-                    // every slot it consumed, so resuming under `env` is
-                    // identical to having run setup under it.
-                    crate::prefix::record_shared();
-                    snapshot.fork_with_env(env.clone())
-                }
-                None => {
-                    let mut m = LayerMachine::new(lower_iface.clone(), pid, env.clone())
-                        .with_fuel(opts.fuel);
-                    let mut early = None;
-                    for (sname, sargs) in &opts.setup {
-                        match m.call_prim(sname, sargs) {
-                            Ok(_) => {}
-                            Err(e) if e.is_invalid_context() => {
-                                early = Some(SetupRun::Skipped);
-                                break;
-                            }
-                            Err(e) => {
-                                early = Some(SetupRun::Failed {
-                                    lower_log: m.log.clone(),
-                                    reason: format!("lower setup `{sname}` failed: {e}"),
-                                });
-                                break;
-                            }
-                        }
-                    }
-                    crate::prefix::record_steps(m.steps_taken() + m.log.len() as u64);
-                    let consumed = m.log.iter().filter(|e| e.is_sched()).count();
-                    let outcome = early.unwrap_or_else(|| SetupRun::Done(m.fork()));
-                    if let Some(k) = key {
-                        setup_memo.insert(k, 0, consumed, outcome.clone());
-                    }
-                    match outcome {
-                        SetupRun::Skipped => return (LowerRun::Skipped, consumed),
-                        SetupRun::Failed { lower_log, reason } => {
-                            return (LowerRun::Failed { lower_log, reason }, consumed);
-                        }
-                        SetupRun::Done(_) => m,
-                    }
+    let deep = share && opts.deep_share;
+    let sched_consumed =
+        |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
+    // Inserts a query-point snapshot of the checked call for sub-case `ai`.
+    let snap_call_point =
+        |k: &crate::prefix::ScheduleKey, ai: usize, mach: &LayerMachine, run: &dyn PrimRun| {
+            snapshots.insert_with(k, 1 + ai, sched_consumed(mach), || {
+                Some(SimSnap::Call {
+                    machine: mach.fork(),
+                    run: run.fork_run()?,
+                })
+            });
+        };
+    // Runs the setup calls from index `first` on `m` — finishing `inflight`
+    // first when resuming a mid-call snapshot — capturing a `Setup`
+    // snapshot at every query point when deep sharing is on. Returns the
+    // abort outcome when a call skips or fails.
+    let run_setup = |m: &mut LayerMachine,
+                     first: usize,
+                     inflight: Option<Box<dyn PrimRun>>,
+                     key: Option<&crate::prefix::ScheduleKey>|
+     -> Option<LowerRun> {
+        let call_idx = std::cell::Cell::new(first);
+        let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
+            let Some(k) = key else { return };
+            snapshots.insert_with(k, 0, sched_consumed(mach), || {
+                Some(SimSnap::Setup {
+                    machine: mach.fork(),
+                    run: run.fork_run()?,
+                    call: call_idx.get(),
+                })
+            });
+        };
+        if let Some(run) = inflight {
+            let sname = &opts.setup[first].0;
+            match m.resume_query(run, &mut hook) {
+                Ok(_) => call_idx.set(first + 1),
+                Err(e) if e.is_invalid_context() => return Some(LowerRun::Skipped),
+                Err(e) => {
+                    return Some(LowerRun::Failed {
+                        lower_log: m.log.clone(),
+                        reason: format!("lower setup `{sname}` failed: {e}"),
+                    });
                 }
             }
-        };
-        // Work executed before this point was already counted (at setup
-        // time for a fresh run, by the snapshot's producer for a fork).
-        let pre = lower.steps_taken() + lower.log.len() as u64;
-        let outcome = match lower.call_prim(lower_prim, args) {
+        }
+        for (i, (sname, sargs)) in opts.setup.iter().enumerate().skip(call_idx.get()) {
+            call_idx.set(i);
+            let res = if deep {
+                m.call_prim_with_snapshots(sname, sargs, &mut hook)
+            } else {
+                m.call_prim(sname, sargs)
+            };
+            match res {
+                Ok(_) => {}
+                Err(e) if e.is_invalid_context() => return Some(LowerRun::Skipped),
+                Err(e) => {
+                    return Some(LowerRun::Failed {
+                        lower_log: m.log.clone(),
+                        reason: format!("lower setup `{sname}` failed: {e}"),
+                    });
+                }
+            }
+        }
+        None
+    };
+    // Seals the setup phase at its consumed depth: an `Abort` snapshot for
+    // a skip/failure (returned as the per-case outcome), a `PostSetup`
+    // snapshot otherwise. A skip/failure is keyed at the matched depth,
+    // never 0 — the caller re-caches it per argument index, and a depth-0
+    // entry would match scripts that diverge *inside* the setup and owe a
+    // different verdict.
+    let seal_setup = |m: LayerMachine,
+                      early: Option<LowerRun>,
+                      key: Option<&crate::prefix::ScheduleKey>|
+     -> Result<LayerMachine, (LowerRun, usize)> {
+        let consumed = sched_consumed(&m);
+        match early {
+            Some(outcome) => {
+                if let Some(k) = key {
+                    let out = outcome.clone();
+                    snapshots.insert_with(k, 0, consumed, || Some(SimSnap::Abort { outcome: out }));
+                }
+                Err((outcome, consumed))
+            }
+            None => {
+                if let Some(k) = key {
+                    snapshots
+                        .insert_with(k, 0, consumed, || Some(SimSnap::PostSetup { machine: m.fork() }));
+                }
+                Ok(m)
+            }
+        }
+    };
+    // Seals the checked call: a `Return` snapshot at the pre-flush return
+    // point on success, then the trailing environment flush.
+    let finish_call = |lower: &mut LayerMachine,
+                       res: Result<Val, crate::machine::MachineError>,
+                       key: Option<&crate::prefix::ScheduleKey>,
+                       ai: usize|
+     -> LowerRun {
+        match res {
             Ok(lower_ret) => {
                 if let Some(k) = key {
-                    let at_return = lower.log.iter().filter(|e| e.is_sched()).count();
-                    call_memo.insert(
-                        k,
-                        ai,
-                        at_return,
-                        CallRun {
+                    snapshots.insert_with(k, 1 + ai, sched_consumed(lower), || {
+                        Some(SimSnap::Return {
                             machine: lower.fork(),
                             lower_ret: lower_ret.clone(),
-                        },
-                    );
+                        })
+                    });
                 }
                 // Flush trailing environment events so handoff-style
                 // abstractions (events authored during another
-                // participant's turn) are fully delivered before comparing.
-                let _ = lower.deliver_env();
+                // participant's turn) are fully delivered before comparing
+                // — capturing a deeper `Return` snapshot per flushed slot
+                // when deep sharing is on, since the flush prefix is the
+                // same for every context agreeing on those slots.
+                match key.filter(|_| deep) {
+                    Some(k) => {
+                        let ret = lower_ret.clone();
+                        let _ = lower.deliver_env_each_turn(&mut |m| {
+                            snapshots.insert_with(k, 1 + ai, sched_consumed(m), || {
+                                Some(SimSnap::Return {
+                                    machine: m.fork(),
+                                    lower_ret: ret.clone(),
+                                })
+                            });
+                        });
+                    }
+                    None => {
+                        let _ = lower.deliver_env();
+                    }
+                }
                 LowerRun::Done {
                     lower_log: lower.log.clone(),
                     lower_ret,
@@ -642,44 +762,135 @@ pub fn check_prim_refinement(
                 lower_log: lower.log.clone(),
                 reason: format!("lower run failed: {e}"),
             },
+        }
+    };
+    // Executes the lower half of a case, resuming the setup phase from the
+    // deepest stored snapshot. Returns the outcome plus the total consumed
+    // schedule prefix length.
+    let exec_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> (LowerRun, usize) {
+        let key = if share { env.schedule_key() } else { None };
+        let fresh =
+            || LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel);
+        let mut lower = if opts.setup.is_empty() {
+            fresh()
+        } else {
+            match key.and_then(|k| snapshots.lookup_deepest(k, 0)) {
+                Some((depth, SimSnap::Abort { outcome })) => {
+                    crate::prefix::record_shared();
+                    return (outcome, depth);
+                }
+                Some((_, SimSnap::PostSetup { machine })) => {
+                    // Fork at the divergence point: the snapshot's log was
+                    // produced under a script agreeing with `env`'s on
+                    // every slot it consumed, so resuming under `env` is
+                    // identical to having run setup under it.
+                    crate::prefix::record_shared();
+                    machine.fork_with_env(env.clone())
+                }
+                Some((_, SimSnap::Setup { machine, run, call })) => {
+                    // Resume the in-flight setup call from its query point
+                    // and finish the remaining calls, counting only the
+                    // suffix work.
+                    crate::prefix::record_deep();
+                    let mut m = machine.fork_with_env(env.clone());
+                    let pre = m.steps_taken() + m.log.len() as u64;
+                    let early = run_setup(&mut m, call, Some(run), key);
+                    crate::prefix::record_steps(m.steps_taken() + m.log.len() as u64 - pre);
+                    match seal_setup(m, early, key) {
+                        Ok(m) => m,
+                        Err(out) => return out,
+                    }
+                }
+                // `Call`/`Return` live at inner `1 + ai`, never 0.
+                Some((_, SimSnap::Call { .. } | SimSnap::Return { .. })) | None => {
+                    let mut m = fresh();
+                    let early = run_setup(&mut m, 0, None, key);
+                    crate::prefix::record_steps(m.steps_taken() + m.log.len() as u64);
+                    match seal_setup(m, early, key) {
+                        Ok(m) => m,
+                        Err(out) => return out,
+                    }
+                }
+            }
         };
+        // Work executed before this point was already counted (at setup
+        // time for a fresh run, by the snapshot's producer for a fork).
+        let pre = lower.steps_taken() + lower.log.len() as u64;
+        let res = if deep && key.is_some() {
+            let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
+                if let Some(k) = key {
+                    snap_call_point(k, ai, mach, run);
+                }
+            };
+            lower.call_prim_with_snapshots(lower_prim, args, &mut hook)
+        } else {
+            lower.call_prim(lower_prim, args)
+        };
+        let outcome = finish_call(&mut lower, res, key, ai);
         crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
-        let consumed = lower.log.iter().filter(|e| e.is_sched()).count();
-        (outcome, consumed)
+        (outcome, sched_consumed(&lower))
     };
     // 1. Run the lower machine — once per distinct consumed schedule
     // prefix and argument vector when sharing is on; every context whose
     // script extends a memoized prefix replays the recorded outcome, and
-    // contexts that agree only up to the call's return fork the pre-flush
-    // snapshot and replay just their own environment flush.
+    // contexts that agree only up to some snapshot's cut point fork it and
+    // execute just the schedule suffix.
     let run_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> LowerRun {
         let key = if share { env.schedule_key() } else { None };
-        match key {
-            Some(k) => {
-                if let Some(hit) = lower_memo.lookup(k, ai) {
-                    crate::prefix::record_shared();
-                    return hit;
-                }
-                if let Some(CallRun { machine, lower_ret }) = call_memo.lookup(k, ai) {
-                    crate::prefix::record_shared();
-                    let mut lower = machine.fork_with_env(env.clone());
-                    let pre = lower.steps_taken() + lower.log.len() as u64;
+        let Some(k) = key else {
+            return exec_lower(env, ai, args).0;
+        };
+        if let Some(hit) = lower_memo.lookup(k, ai) {
+            crate::prefix::record_shared();
+            return hit;
+        }
+        let resumed = match snapshots.lookup_deepest(k, 1 + ai) {
+            Some((_, SimSnap::Return { machine, lower_ret })) => {
+                crate::prefix::record_shared();
+                let mut lower = machine.fork_with_env(env.clone());
+                let pre = lower.steps_taken() + lower.log.len() as u64;
+                if deep {
+                    let ret = lower_ret.clone();
+                    let _ = lower.deliver_env_each_turn(&mut |m| {
+                        snapshots.insert_with(k, 1 + ai, sched_consumed(m), || {
+                            Some(SimSnap::Return {
+                                machine: m.fork(),
+                                lower_ret: ret.clone(),
+                            })
+                        });
+                    });
+                } else {
                     let _ = lower.deliver_env();
-                    crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
-                    let outcome = LowerRun::Done {
+                }
+                crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
+                Some((
+                    LowerRun::Done {
                         lower_log: lower.log.clone(),
                         lower_ret,
-                    };
-                    let consumed = lower.log.iter().filter(|e| e.is_sched()).count();
-                    lower_memo.insert(k, ai, consumed, outcome.clone());
-                    return outcome;
-                }
-                let (outcome, consumed) = exec_lower(env, ai, args);
-                lower_memo.insert(k, ai, consumed, outcome.clone());
-                outcome
+                    },
+                    sched_consumed(&lower),
+                ))
             }
-            None => exec_lower(env, ai, args).0,
-        }
+            Some((_, SimSnap::Call { machine, run })) => {
+                crate::prefix::record_deep();
+                let mut lower = machine.fork_with_env(env.clone());
+                let pre = lower.steps_taken() + lower.log.len() as u64;
+                let res = {
+                    let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
+                        snap_call_point(k, ai, mach, run);
+                    };
+                    lower.resume_query(run, &mut hook)
+                };
+                let outcome = finish_call(&mut lower, res, Some(k), ai);
+                crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
+                Some((outcome, sched_consumed(&lower)))
+            }
+            // Setup-phase variants live at inner 0, never `1 + ai`.
+            Some(_) | None => None,
+        };
+        let (outcome, consumed) = resumed.unwrap_or_else(|| exec_lower(env, ai, args));
+        lower_memo.insert(k, ai, consumed, outcome.clone());
+        outcome
     };
     let nargs = arg_vectors.len();
     let total = contexts.len() * nargs;
@@ -1007,6 +1218,66 @@ mod tests {
         };
         let f1 = fail(SimOptions::default());
         let f2 = fail(SimOptions::default().with_upper_cache_cap(1));
+        assert_eq!(f1.case, f2.case);
+        assert_eq!(f1.reason, f2.reason);
+    }
+
+    #[test]
+    fn snapshot_cap_eviction_does_not_change_verdicts() {
+        let lower = emit_iface("L-low", EventKind::Acq);
+        let upper = emit_iface("L-up", EventKind::Acq);
+        let contexts = crate::contexts::ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(3)
+            .contexts();
+        let args = vec![vec![Val::Loc(Loc(0))], vec![Val::Loc(Loc(1))]];
+        let run = |opts: SimOptions| {
+            let mut opts = opts
+                .with_workers(1)
+                .with_prefix_share(true)
+                .with_deep_share(true);
+            opts.setup = vec![("op".to_owned(), vec![Val::Loc(Loc(2))])];
+            check_prim_refinement(
+                &lower,
+                "op",
+                &upper,
+                "op",
+                &SimRelation::identity(),
+                Pid(1),
+                &contexts,
+                &args,
+                &opts,
+            )
+        };
+        let base = run(SimOptions::default()).unwrap();
+        // Cap 1 forces an eviction on every snapshot insert after the
+        // first, so most cases re-execute from scratch.
+        let capped = run(SimOptions::default().with_snapshot_cap(1)).unwrap();
+        assert_eq!(base.cases_checked, capped.cases_checked);
+        assert_eq!(base.cases_skipped, capped.cases_skipped);
+        assert_eq!(base.cases_reduced, capped.cases_reduced);
+        assert_eq!(base.probes.len(), capped.probes.len());
+
+        // A failing pair reports the identical first counterexample.
+        let bad = emit_iface("L-bad", EventKind::Rel);
+        let fail = |opts: SimOptions| {
+            check_prim_refinement(
+                &lower,
+                "op",
+                &bad,
+                "op",
+                &SimRelation::identity(),
+                Pid(1),
+                &contexts,
+                &args,
+                &opts
+                    .with_workers(1)
+                    .with_prefix_share(true)
+                    .with_deep_share(true),
+            )
+            .unwrap_err()
+        };
+        let f1 = fail(SimOptions::default());
+        let f2 = fail(SimOptions::default().with_snapshot_cap(1));
         assert_eq!(f1.case, f2.case);
         assert_eq!(f1.reason, f2.reason);
     }

@@ -48,6 +48,9 @@ pub struct ReplayOptions {
     /// tolerantly — artifacts written before the knob existed read as
     /// `false`).
     pub prefix_share: bool,
+    /// Deep prefix-sharing via query-point snapshots (always off for
+    /// replay; decoded tolerantly like `prefix_share`).
+    pub deep_share: bool,
 }
 
 /// One serialized failure witness.
@@ -84,6 +87,7 @@ impl TraceArtifact {
                     ("dedup", Json::Bool(self.options.dedup)),
                     ("por", Json::Bool(self.options.por)),
                     ("prefix_share", Json::Bool(self.options.prefix_share)),
+                    ("deep_share", Json::Bool(self.options.deep_share)),
                 ]),
             ),
             ("context", self.context.encode()),
@@ -158,6 +162,10 @@ impl TraceArtifact {
             // bypasses the memo structurally either way.
             prefix_share: oj
                 .get("prefix_share")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            deep_share: oj
+                .get("deep_share")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
         };
@@ -269,6 +277,7 @@ mod tests {
                 dedup: false,
                 por: false,
                 prefix_share: false,
+                deep_share: false,
             },
             context: ScriptedContext {
                 domain: vec![Pid(0), Pid(1)],

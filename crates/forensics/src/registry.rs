@@ -41,6 +41,10 @@ pub struct RunConfig {
     /// Prefix-sharing of lower runs across contexts (see
     /// [`ccal_core::prefix`]).
     pub prefix_share: bool,
+    /// Deep prefix-sharing: query-point snapshot forking (see
+    /// [`ccal_core::prefix::SnapshotTrie`]). Effective only when
+    /// `prefix_share` is on.
+    pub deep_share: bool,
 }
 
 impl RunConfig {
@@ -53,6 +57,7 @@ impl RunConfig {
             dedup: false,
             por: false,
             prefix_share: false,
+            deep_share: false,
         }
     }
 }
@@ -104,7 +109,8 @@ fn run_sim(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
             .with_workers(cfg.workers)
             .with_dedup(cfg.dedup)
             .with_por(cfg.por)
-            .with_prefix_share(cfg.prefix_share),
+            .with_prefix_share(cfg.prefix_share)
+            .with_deep_share(cfg.deep_share),
     )
     .map(|_| ())
     .map_err(|f| f.reason)
@@ -122,6 +128,7 @@ fn run_live(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         cfg.workers,
         cfg.por,
         cfg.prefix_share,
+        cfg.deep_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -137,6 +144,7 @@ fn run_race(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         cfg.workers,
         cfg.por,
         cfg.prefix_share,
+        cfg.deep_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -154,6 +162,7 @@ fn run_linz(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         cfg.workers,
         cfg.por,
         cfg.prefix_share,
+        cfg.deep_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -171,6 +180,7 @@ fn run_seqref(contexts: &[EnvContext], cfg: &RunConfig) -> Result<(), String> {
         cfg.workers,
         cfg.por,
         cfg.prefix_share,
+        cfg.deep_share,
     )
     .map(|_| ())
     .map_err(|e| e.to_string())
@@ -316,6 +326,7 @@ pub fn investigate(fx: &Fixture, cfg: &RunConfig) -> Result<TraceArtifact, Strin
             dedup: false,
             por: false,
             prefix_share: false,
+            deep_share: false,
         },
         context: outcome.context,
         expected: ExpectedFailure {

@@ -120,22 +120,25 @@ fn investigation_is_identical_across_workers_and_por() {
         for workers in [1, 4] {
             for por in [false, true] {
                 for prefix_share in [false, true] {
-                    let cfg = RunConfig {
-                        workers,
-                        dedup: workers > 1,
-                        por,
-                        prefix_share,
-                    };
-                    let got = investigate(&fx, &cfg)
-                        .unwrap_or_else(|e| panic!("investigate failed under {cfg:?}: {e}"));
-                    assert_eq!(
-                        got.encode().pretty(),
-                        reference_bytes,
-                        "{}/{}: artifact drifted under workers={workers} por={por} \
-                         prefix_share={prefix_share}",
-                        fx.checker,
-                        fx.object
-                    );
+                    for deep_share in [false, true] {
+                        let cfg = RunConfig {
+                            workers,
+                            dedup: workers > 1,
+                            por,
+                            prefix_share,
+                            deep_share,
+                        };
+                        let got = investigate(&fx, &cfg)
+                            .unwrap_or_else(|e| panic!("investigate failed under {cfg:?}: {e}"));
+                        assert_eq!(
+                            got.encode().pretty(),
+                            reference_bytes,
+                            "{}/{}: artifact drifted under workers={workers} por={por} \
+                             prefix_share={prefix_share} deep_share={deep_share}",
+                            fx.checker,
+                            fx.object
+                        );
+                    }
                 }
             }
         }

@@ -20,7 +20,7 @@ use crate::asm::{AsmFunction, AsmModule, Instr, Operand, Reg};
 /// contain no query points.
 const INSTR_BUDGET: u64 = 1_000_000;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     func: Arc<AsmFunction>,
     pc: usize,
@@ -260,6 +260,21 @@ impl PrimRun for AsmRun {
                 }
             }
         }
+    }
+
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        let pending = match &self.pending {
+            Some(sub) => Some(sub.fork()?),
+            None => None,
+        };
+        Some(Box::new(AsmRun {
+            module: self.module.clone(),
+            frames: self.frames.clone(),
+            pending,
+            budget: self.budget,
+            init_error: self.init_error.clone(),
+            result: self.result.clone(),
+        }))
     }
 }
 

@@ -45,11 +45,16 @@ pub const NOISE_LOC: Loc = Loc(77);
 // that always returns 0.
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct TwoProbeOp {
     queries: u32,
 }
 
 impl PrimRun for TwoProbeOp {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         if self.queries < 2 {
             self.queries += 1;
@@ -103,9 +108,14 @@ pub fn scratch_sensitive_contexts() -> Vec<EnvContext> {
 // WAIT_LOC, declared with a step bound far too tight to ever hold.
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct WaitForPushes;
 
 impl PrimRun for WaitForPushes {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let n = ctx
             .log
@@ -340,6 +350,7 @@ mod tests {
             1,
             false,
             true,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));
@@ -355,6 +366,7 @@ mod tests {
             50_000,
             1,
             false,
+            true,
             true,
         )
         .unwrap_err();
@@ -374,6 +386,7 @@ mod tests {
             1,
             false,
             true,
+            true,
         )
         .unwrap_err();
         assert!(matches!(err, ccal_core::calculus::LayerError::Mismatch { .. }));
@@ -391,6 +404,7 @@ mod tests {
             100_000,
             1,
             false,
+            true,
             true,
         )
         .unwrap_err();

@@ -65,11 +65,16 @@ fn arg_loc(args: &[Val], i: usize) -> Result<Loc, MachineError> {
         .map_err(MachineError::from)
 }
 
+#[derive(Clone)]
 struct CvBlock {
     cv: QId,
 }
 
 impl PrimRun for CvBlock {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         if replay_cv_waiters(ctx.log, self.cv).contains(&ctx.pid) {
             Ok(PrimStep::Query)
@@ -116,12 +121,17 @@ pub fn condvar_underlay() -> LayerInterface {
 
 /// The specification strategy of `cv_wait`: register + release in one
 /// step, block until signalled, then re-acquire the queuing lock.
+#[derive(Clone)]
 struct PhiCvWait {
     args: Vec<Val>,
     phase: u8,
 }
 
 impl PrimRun for PhiCvWait {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let cv = QId(arg_loc(&self.args, 0)?.0);
         let l = arg_loc(&self.args, 1)?;

@@ -114,12 +114,17 @@ pub fn ipc_underlay() -> LayerInterface {
 
 /// The atomic `recv` strategy: wait until the channel has a message, then
 /// take it in a single event.
+#[derive(Clone)]
 struct PhiRecv {
     args: Vec<Val>,
     queried: bool,
 }
 
 impl PrimRun for PhiRecv {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let ch = QId(arg_loc(&self.args)?.0);
         if !self.queried {

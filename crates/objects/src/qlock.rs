@@ -138,12 +138,17 @@ pub fn qlock_underlay() -> LayerInterface {
 
 /// The atomic queuing-lock acquire strategy: wait for the qlock to be
 /// free (per the `acq_q`/`rel_q` replay), then take it in one event.
+#[derive(Clone)]
 struct PhiAcqQ {
     args: Vec<Val>,
     queried: bool,
 }
 
 impl PrimRun for PhiAcqQ {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let l = arg_loc(&self.args)?;
         if !self.queried {

@@ -121,11 +121,16 @@ fn arg_loc(args: &[Val], i: usize) -> Result<Loc, MachineError> {
 /// until a `wakeup` pops the caller off the sleeping queue — liveness
 /// rests on the rely that sleepers are eventually woken (§5.4 proves this
 /// for the queuing lock).
+#[derive(Clone)]
 struct WaitWakeup {
     q: QId,
 }
 
 impl PrimRun for WaitWakeup {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         if is_sleeping(ctx.log, self.q, ctx.pid) {
             Ok(PrimStep::Query)
@@ -237,11 +242,16 @@ pub fn sched_underlay() -> LayerInterface {
     .build()
 }
 
+#[derive(Clone)]
 struct AtomicYield {
     queried: bool,
 }
 
 impl PrimRun for AtomicYield {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         if !self.queried {
             self.queried = true;
@@ -252,12 +262,17 @@ impl PrimRun for AtomicYield {
     }
 }
 
+#[derive(Clone)]
 struct AtomicSleep {
     args: Vec<Val>,
     phase: u8,
 }
 
 impl PrimRun for AtomicSleep {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let q = QId(arg_loc(&self.args, 0)?.0);
         let lk = arg_loc(&self.args, 1)?;

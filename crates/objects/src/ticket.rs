@@ -189,6 +189,7 @@ fn arg_loc(args: &[Val]) -> Result<Loc, MachineError> {
 
 /// The `φ′_acq` strategy of §2: fetch a ticket, spin on `get_n` (querying
 /// the environment between probes), then announce with `hold`.
+#[derive(Clone)]
 struct PhiAcqLow {
     args: Vec<Val>,
     phase: u8,
@@ -196,6 +197,10 @@ struct PhiAcqLow {
 }
 
 impl PrimRun for PhiAcqLow {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let b = arg_loc(&self.args)?;
         match self.phase {
@@ -273,12 +278,17 @@ pub fn holds_atomic_lock(pid: Pid, log: &Log) -> bool {
 /// environment until the lock is free (the rely guarantees holders
 /// release), then take it in one atomic event and enter the critical
 /// state.
+#[derive(Clone)]
 struct PhiAcqAtomic {
     args: Vec<Val>,
     queried: bool,
 }
 
 impl PrimRun for PhiAcqAtomic {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let b = arg_loc(&self.args)?;
         if !self.queried {
@@ -342,12 +352,17 @@ pub fn l2_interface() -> LayerInterface {
         .build()
 }
 
+#[derive(Clone)]
 struct PhiFooAtomic {
     args: Vec<Val>,
     queried: bool,
 }
 
 impl PrimRun for PhiFooAtomic {
+    fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         let b = arg_loc(&self.args)?;
         if !self.queried {

@@ -83,6 +83,7 @@ pub fn check_liveness_por(
         ccal_core::par::default_workers(),
         por,
         ccal_core::prefix::prefix_share_enabled(),
+        ccal_core::prefix::prefix_deep_enabled(),
     )
 }
 
@@ -91,6 +92,11 @@ pub fn check_liveness_por(
 /// forensics replay gate uses for bit-identical reproduction — and
 /// explicit prefix-sharing of lower runs across contexts with common
 /// consumed schedule prefixes (see [`ccal_core::prefix`]).
+/// `deep_share` additionally snapshots the machine and the in-flight run
+/// at every environment query point ([`ccal_core::prefix::SnapshotTrie`]),
+/// so a multi-query primitive executes once per distinct schedule path and
+/// later contexts replay only their suffix; it is effective only when
+/// `prefix_share` is on.
 ///
 /// # Errors
 ///
@@ -107,6 +113,7 @@ pub fn check_liveness_tuned(
     workers: usize,
     por: bool,
     prefix_share: bool,
+    deep_share: bool,
 ) -> Result<Obligation, LayerError> {
     // Contexts are independent: explore them on the shared work queue and
     // fold in context order, so the worst-case step count and the first
@@ -122,12 +129,70 @@ pub fn check_liveness_tuned(
     // prefix, so its result (not the per-case classification, which names
     // the context index) is shared across contexts via the prefix memo.
     type LowerRun = (Result<(), ccal_core::machine::MachineError>, ccal_core::log::Log);
+    // A query-point snapshot (deep sharing): the machine plus a fork of
+    // the in-flight run, resumable under any context whose script agrees
+    // on the consumed schedule prefix.
+    #[allow(clippy::items_after_statements)]
+    struct LiveSnap {
+        machine: LayerMachine,
+        run: Box<dyn ccal_core::layer::PrimRun>,
+    }
+    #[allow(clippy::items_after_statements)]
+    impl ccal_core::prefix::ForkSnapshot for LiveSnap {
+        fn fork(&self) -> Option<Self> {
+            Some(LiveSnap {
+                machine: self.machine.fork(),
+                run: self.run.fork_run()?,
+            })
+        }
+    }
     let memo: ccal_core::prefix::PrefixMemo<LowerRun> = ccal_core::prefix::PrefixMemo::new();
+    let deep = prefix_share && deep_share;
+    let snapshots: ccal_core::prefix::SnapshotTrie<LiveSnap> =
+        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
+    let sched_consumed =
+        |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
+    let snap_point = |k: &ccal_core::prefix::ScheduleKey,
+                      mach: &LayerMachine,
+                      run: &dyn ccal_core::layer::PrimRun| {
+        snapshots.insert_with(k, 0, sched_consumed(mach), || {
+            Some(LiveSnap {
+                machine: mach.fork(),
+                run: run.fork_run()?,
+            })
+        });
+    };
     let exec_lower = |env: &EnvContext| -> (LowerRun, usize) {
+        let key = if deep { env.schedule_key() } else { None };
+        if let Some(k) = key {
+            if let Some((_, LiveSnap { machine, run })) = snapshots.lookup_deepest(k, 0) {
+                // Fork the deepest snapshotted ancestor and execute only
+                // the schedule suffix, counting only the suffix work.
+                ccal_core::prefix::record_deep();
+                let mut machine = machine.fork_with_env(env.clone());
+                let pre = machine.steps_taken() + machine.log.len() as u64;
+                let mut hook = |mach: &LayerMachine, run: &dyn ccal_core::layer::PrimRun| {
+                    snap_point(k, mach, run);
+                };
+                let res = machine.resume_query(run, &mut hook).map(|_| ());
+                ccal_core::prefix::record_steps(
+                    machine.steps_taken() + machine.log.len() as u64 - pre,
+                );
+                let consumed = sched_consumed(&machine);
+                return ((res, machine.log), consumed);
+            }
+        }
         let mut machine = LayerMachine::new(iface.clone(), pid, env.clone()).with_fuel(fuel);
-        let res = machine.call_prim(prim, args).map(|_| ());
+        let res = if let Some(k) = key {
+            let mut hook = |mach: &LayerMachine, run: &dyn ccal_core::layer::PrimRun| {
+                snap_point(k, mach, run);
+            };
+            machine.call_prim_with_snapshots(prim, args, &mut hook).map(|_| ())
+        } else {
+            machine.call_prim(prim, args).map(|_| ())
+        };
         ccal_core::prefix::record_steps(machine.steps_taken() + machine.log.len() as u64);
-        let consumed = machine.log.iter().filter(|e| e.is_sched()).count();
+        let consumed = sched_consumed(&machine);
         ((res, machine.log), consumed)
     };
     let run_lower = |env: &EnvContext| -> LowerRun {

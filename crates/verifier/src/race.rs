@@ -70,6 +70,7 @@ pub fn check_race_freedom_por(
         ccal_core::par::default_workers(),
         por,
         ccal_core::prefix::prefix_share_enabled(),
+        ccal_core::prefix::prefix_deep_enabled(),
     )
 }
 
@@ -78,6 +79,10 @@ pub fn check_race_freedom_por(
 /// forensics replay gate uses for bit-identical reproduction — and
 /// explicit prefix-sharing of runs across contexts with common consumed
 /// schedule prefixes (see [`ccal_core::prefix`]).
+/// `deep_share` additionally snapshots the whole game state before every
+/// scheduler decision ([`ccal_core::prefix::SnapshotTrie`]), so a context
+/// diverging at turn `k` forks the deepest snapshot and replays only the
+/// remaining turns; it is effective only when `prefix_share` is on.
 ///
 /// # Errors
 ///
@@ -92,6 +97,7 @@ pub fn check_race_freedom_tuned(
     workers: usize,
     por: bool,
     prefix_share: bool,
+    deep_share: bool,
 ) -> Result<Obligation, LayerError> {
     // Interleavings are independent: explore on the shared work queue,
     // fold in context order for a deterministic first counterexample.
@@ -110,11 +116,50 @@ pub fn check_race_freedom_tuned(
         ccal_core::log::Log,
     );
     let memo: ccal_core::prefix::PrefixMemo<TracedRun> = ccal_core::prefix::PrefixMemo::new();
+    // A forked mid-run game state (deep sharing): one turn consumes one
+    // schedule slot, so a state at turn `k` resumes under any context
+    // agreeing on the first `k` slots.
+    #[allow(clippy::items_after_statements)]
+    struct GameSnap(ccal_core::conc::GameState);
+    #[allow(clippy::items_after_statements)]
+    impl ccal_core::prefix::ForkSnapshot for GameSnap {
+        fn fork(&self) -> Option<Self> {
+            self.0.fork().map(GameSnap)
+        }
+    }
+    let deep = prefix_share && deep_share;
+    let snapshots: ccal_core::prefix::SnapshotTrie<GameSnap> =
+        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
     let exec_lower = |env: &EnvContext| -> (TracedRun, usize) {
+        let key = if deep { env.schedule_key() } else { None };
         let machine =
             ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
-        let (res, log) = machine.run_traced(programs);
-        ccal_core::prefix::record_steps(log.len() as u64);
+        let (res, log, pre) = match key {
+            Some(k) => {
+                let mut hook = |st: &ccal_core::conc::GameState| {
+                    snapshots.insert_with(k, 0, st.sched_consumed(), || st.fork().map(GameSnap));
+                };
+                match snapshots.lookup_deepest(k, 0) {
+                    Some((_, GameSnap(st))) => {
+                        // Fork the deepest snapshotted ancestor and replay
+                        // only the remaining turns, counting only them.
+                        ccal_core::prefix::record_deep();
+                        let pre = st.log_len() as u64;
+                        let (res, log) = machine.run_traced_from(st, &mut hook);
+                        (res, log, pre)
+                    }
+                    None => {
+                        let (res, log) = machine.run_traced_with_snapshots(programs, &mut hook);
+                        (res, log, 0)
+                    }
+                }
+            }
+            None => {
+                let (res, log) = machine.run_traced(programs);
+                (res, log, 0)
+            }
+        };
+        ccal_core::prefix::record_steps(log.len() as u64 - pre);
         let consumed = log.iter().filter(|e| e.is_sched()).count();
         ((res, log), consumed)
     };

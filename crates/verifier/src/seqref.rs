@@ -80,6 +80,7 @@ pub fn check_sequence_refinement_por(
         ccal_core::par::default_workers(),
         por,
         ccal_core::prefix::prefix_share_enabled(),
+        ccal_core::prefix::prefix_deep_enabled(),
     )
 }
 
@@ -88,6 +89,10 @@ pub fn check_sequence_refinement_por(
 /// behavior the forensics replay gate uses for bit-identical reproduction
 /// — and explicit prefix-sharing of impl-machine runs across contexts with
 /// common consumed schedule prefixes (see [`ccal_core::prefix`]).
+/// `deep_share` additionally snapshots the impl machine mid-script at
+/// every environment query point ([`ccal_core::prefix::SnapshotTrie`]), so
+/// contexts diverging mid-call replay only their schedule suffix; it is
+/// effective only when `prefix_share` is on.
 ///
 /// # Errors
 ///
@@ -104,6 +109,7 @@ pub fn check_sequence_refinement_tuned(
     workers: usize,
     por: bool,
     prefix_share: bool,
+    deep_share: bool,
 ) -> Result<Obligation, LayerError> {
     // The (context × script) grid is explored on the shared work queue and
     // folded in case order — same counts and first failure as serially.
@@ -134,37 +140,136 @@ pub fn check_sequence_refinement_tuned(
     }
     let memo: ccal_core::prefix::PrefixMemo<ImplRun> = ccal_core::prefix::PrefixMemo::new();
     let nscripts = scripts.len();
-    let exec_impl = |env: &EnvContext, si: usize| -> (ImplRun, usize) {
+    // A query-point snapshot of the impl machine mid-script (deep
+    // sharing): the in-flight run of script call `call`, with the return
+    // values of the calls already completed.
+    #[allow(clippy::items_after_statements)]
+    struct SeqSnap {
+        machine: LayerMachine,
+        run: Box<dyn ccal_core::layer::PrimRun>,
+        call: usize,
+        rets: Vec<Val>,
+    }
+    #[allow(clippy::items_after_statements)]
+    impl ccal_core::prefix::ForkSnapshot for SeqSnap {
+        fn fork(&self) -> Option<Self> {
+            Some(SeqSnap {
+                machine: self.machine.fork(),
+                run: self.run.fork_run()?,
+                call: self.call,
+                rets: self.rets.clone(),
+            })
+        }
+    }
+    let deep = prefix_share && deep_share;
+    let snapshots: ccal_core::prefix::SnapshotTrie<SeqSnap> =
+        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
+    let sched_consumed =
+        |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
+    // Runs script `si` on `m` from call index `first` (finishing `inflight`
+    // first when resuming a snapshot), capturing a snapshot at every query
+    // point when deep sharing is on. Returns the completed return values,
+    // or the aborted outcome.
+    let run_script = |m: &mut LayerMachine,
+                      si: usize,
+                      first: usize,
+                      inflight: Option<Box<dyn ccal_core::layer::PrimRun>>,
+                      mut rets: Vec<Val>,
+                      key: Option<&ccal_core::prefix::ScheduleKey>|
+     -> Result<Vec<Val>, ImplRun> {
         let script = &scripts[si];
-        let mut impl_machine =
-            LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
-        let mut impl_rets = Vec::with_capacity(script.len());
-        let mut outcome = None;
-        for (name, args) in script {
-            match impl_machine.call_prim(name, args) {
-                Ok(v) => impl_rets.push(v),
-                Err(e) if e.is_invalid_context() => {
-                    outcome = Some(ImplRun::Skipped);
-                    break;
-                }
+        let mut next = first;
+        if let Some(run) = inflight {
+            let before = rets.clone();
+            let mut hook = |mach: &LayerMachine, r: &dyn ccal_core::layer::PrimRun| {
+                let Some(k) = key else { return };
+                snapshots.insert_with(k, si, sched_consumed(mach), || {
+                    Some(SeqSnap {
+                        machine: mach.fork(),
+                        run: r.fork_run()?,
+                        call: first,
+                        rets: before.clone(),
+                    })
+                });
+            };
+            match m.resume_query(run, &mut hook) {
+                Ok(v) => rets.push(v),
+                Err(e) if e.is_invalid_context() => return Err(ImplRun::Skipped),
                 Err(e) => {
-                    outcome = Some(ImplRun::Failed {
-                        log: impl_machine.log.clone(),
+                    return Err(ImplRun::Failed {
+                        log: m.log.clone(),
                         err: e,
                     });
-                    break;
+                }
+            }
+            next = first + 1;
+        }
+        for (i, (name, args)) in script.iter().enumerate().skip(next) {
+            let before = rets.clone();
+            let mut hook = |mach: &LayerMachine, r: &dyn ccal_core::layer::PrimRun| {
+                let Some(k) = key else { return };
+                snapshots.insert_with(k, si, sched_consumed(mach), || {
+                    Some(SeqSnap {
+                        machine: mach.fork(),
+                        run: r.fork_run()?,
+                        call: i,
+                        rets: before.clone(),
+                    })
+                });
+            };
+            let res = if deep && key.is_some() {
+                m.call_prim_with_snapshots(name, args, &mut hook)
+            } else {
+                m.call_prim(name, args)
+            };
+            match res {
+                Ok(v) => rets.push(v),
+                Err(e) if e.is_invalid_context() => return Err(ImplRun::Skipped),
+                Err(e) => {
+                    return Err(ImplRun::Failed {
+                        log: m.log.clone(),
+                        err: e,
+                    });
                 }
             }
         }
+        Ok(rets)
+    };
+    let exec_impl = |env: &EnvContext, si: usize| -> (ImplRun, usize) {
+        let key = if deep { env.schedule_key() } else { None };
+        if let Some(k) = key {
+            if let Some((_, SeqSnap { machine, run, call, rets })) =
+                snapshots.lookup_deepest(k, si)
+            {
+                // Fork the deepest snapshotted ancestor and execute only
+                // the schedule suffix, counting only the suffix work.
+                ccal_core::prefix::record_deep();
+                let mut m = machine.fork_with_env(env.clone());
+                let pre = m.steps_taken() + m.log.len() as u64;
+                let outcome = match run_script(&mut m, si, call, Some(run), rets, Some(k)) {
+                    Ok(rets) => ImplRun::Done {
+                        log: m.log.clone(),
+                        rets,
+                    },
+                    Err(aborted) => aborted,
+                };
+                ccal_core::prefix::record_steps(m.steps_taken() + m.log.len() as u64 - pre);
+                return (outcome, sched_consumed(&m));
+            }
+        }
+        let mut impl_machine =
+            LayerMachine::new(impl_iface.clone(), pid, env.clone()).with_fuel(fuel);
+        let outcome = match run_script(&mut impl_machine, si, 0, None, Vec::new(), key) {
+            Ok(rets) => ImplRun::Done {
+                log: impl_machine.log.clone(),
+                rets,
+            },
+            Err(aborted) => aborted,
+        };
         ccal_core::prefix::record_steps(
             impl_machine.steps_taken() + impl_machine.log.len() as u64,
         );
-        let consumed = impl_machine.log.iter().filter(|e| e.is_sched()).count();
-        let outcome = outcome.unwrap_or(ImplRun::Done {
-            log: impl_machine.log,
-            rets: impl_rets,
-        });
-        (outcome, consumed)
+        (outcome, sched_consumed(&impl_machine))
     };
     let run_impl = |env: &EnvContext, si: usize| -> ImplRun {
         match if prefix_share { env.schedule_key() } else { None } {

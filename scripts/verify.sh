@@ -2,9 +2,10 @@
 # Offline verification: tier-1 (release build + root-package tests), the
 # parallel-vs-serial, POR, and prefix-sharing differential suites (the
 # latter two both with the optimization on and under their CCAL_POR=0 /
-# CCAL_PREFIX_SHARE=0 escape hatches), the engine regression tests, the
-# full workspace tests, and criterion-free benchmark smoke runs including
-# the B5 prefix-sharing step-ratio gate. Everything here works without network access —
+# CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 escape hatches), the engine
+# regression tests, the full workspace tests, and criterion-free benchmark
+# smoke runs including the B5 (whole-prefix) and B5d (query-point snapshot)
+# step-ratio gates. Everything here works without network access —
 # proptest/criterion resolve to the in-repo shim crates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +31,12 @@ cargo test -q --test prefix_differential
 echo "== differential: sharing disabled via the escape hatch (CCAL_PREFIX_SHARE=0) =="
 CCAL_PREFIX_SHARE=0 cargo test -q --test prefix_differential
 
+echo "== differential: deep sharing disabled via the escape hatch (CCAL_PREFIX_DEEP=0) =="
+CCAL_PREFIX_DEEP=0 cargo test -q --test prefix_differential
+
+echo "== differential: fork-vs-fresh snapshot resume (all snapshots x agreeing contexts) =="
+cargo test -q --test fork_differential
+
 echo "== regression: grid sampling, space_size, workers, cache cap =="
 cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
@@ -45,7 +52,7 @@ cargo run -q --release -p ccal-forensics --bin ccal-replay -- forensics/corpus
 echo "== bench smoke (no criterion): composition_scaling --quick =="
 cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
 
-echo "== bench gate (no criterion): prefix_sharing --quick (asserts L=5 step ratio <= 0.5) =="
+echo "== bench gate (no criterion): prefix_sharing --quick (asserts B5 share/off <= 0.5 and B5d deep/share <= 0.7 at L=5; writes BENCH_5.json) =="
 cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quick
 
 echo "verify: all green"

@@ -5,7 +5,10 @@
 //! first-failure case index, and bit-identical captured logs as the
 //! memo-free engine, across serial and parallel workers and with the
 //! partial-order reduction on or off. Mirrors `tests/por_differential.rs`
-//! along the sharing axis, across all five bounded checkers.
+//! along the sharing axis, across all five bounded checkers. Each
+//! comparison runs twice more with deep sharing (the query-point snapshot
+//! trie, `ccal_core::prefix::SnapshotTrie`) off and on, so forked-resume
+//! suffix execution is held to the same invisibility contract.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -133,7 +136,7 @@ fn sim_refinement_is_identical_with_and_without_sharing() {
     let args: Vec<Vec<Val>> = (0..6).map(|i| vec![Val::Int(i)]).collect();
     for broken in [false, true] {
         let up = upper(broken);
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             check_prim_refinement(
                 &lower,
                 "op",
@@ -145,19 +148,22 @@ fn sim_refinement_is_identical_with_and_without_sharing() {
                 &args,
                 &SimOptions::default()
                     .with_prefix_share(share)
+                    .with_deep_share(deep)
                     .with_workers(workers)
                     .with_por(por),
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             for workers in WORKERS {
-                let shared = run(true, workers, por);
-                assert_sim_invisible(
-                    &format!("sim broken={broken} workers={workers} por={por}"),
-                    &reference,
-                    &shared,
-                );
+                for deep in [false, true] {
+                    let shared = run(true, deep, workers, por);
+                    assert_sim_invisible(
+                        &format!("sim broken={broken} deep={deep} workers={workers} por={por}"),
+                        &reference,
+                        &shared,
+                    );
+                }
             }
             if broken {
                 let failure = reference.as_ref().expect_err("broken for args >= 4");
@@ -245,9 +251,10 @@ fn setup_skips_and_failures_stay_keyed_at_their_consumed_depth() {
     let args: Vec<Vec<Val>> = (0..2).map(|i| vec![Val::Int(i)]).collect();
     for broken in [false, true] {
         let upper = gated_upper_iface(broken);
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             let mut opts = SimOptions::default()
                 .with_prefix_share(share)
+                .with_deep_share(deep)
                 .with_workers(workers)
                 .with_por(por);
             opts.setup = vec![("gate".to_owned(), Vec::new())];
@@ -264,7 +271,7 @@ fn setup_skips_and_failures_stay_keyed_at_their_consumed_depth() {
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             if !broken {
                 // The grid must mix skipping and non-skipping setups, or
                 // the scenario exercises nothing.
@@ -273,11 +280,15 @@ fn setup_skips_and_failures_stay_keyed_at_their_consumed_depth() {
                 assert!(ev.cases_checked > 0, "some setups must succeed");
             }
             for workers in WORKERS {
-                assert_sim_invisible(
-                    &format!("gated-setup broken={broken} workers={workers} por={por}"),
-                    &reference,
-                    &run(true, workers, por),
-                );
+                for deep in [false, true] {
+                    assert_sim_invisible(
+                        &format!(
+                            "gated-setup broken={broken} deep={deep} workers={workers} por={por}"
+                        ),
+                        &reference,
+                        &run(true, deep, workers, por),
+                    );
+                }
             }
         }
     }
@@ -308,7 +319,7 @@ fn wait_for_iface(k: usize) -> LayerInterface {
 fn liveness_is_identical_with_and_without_sharing() {
     let contexts = grid(3);
     for bound in [64, 0] {
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             check_liveness_tuned(
                 &wait_for_iface(1),
                 "wait",
@@ -320,16 +331,19 @@ fn liveness_is_identical_with_and_without_sharing() {
                 workers,
                 por,
                 share,
+                deep,
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             for workers in WORKERS {
-                assert_invisible(
-                    &format!("live bound={bound} workers={workers} por={por}"),
-                    &reference,
-                    &run(true, workers, por),
-                );
+                for deep in [false, true] {
+                    assert_invisible(
+                        &format!("live bound={bound} deep={deep} workers={workers} por={por}"),
+                        &reference,
+                        &run(true, deep, workers, por),
+                    );
+                }
             }
         }
     }
@@ -372,7 +386,7 @@ fn race_freedom_is_identical_with_and_without_sharing() {
                 ],
             );
         }
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             check_race_freedom_tuned(
                 &mx86_hw_interface(),
                 &pids,
@@ -382,16 +396,19 @@ fn race_freedom_is_identical_with_and_without_sharing() {
                 workers,
                 por,
                 share,
+                deep,
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             for workers in WORKERS {
-                assert_invisible(
-                    &format!("race broken={broken} workers={workers} por={por}"),
-                    &reference,
-                    &run(true, workers, por),
-                );
+                for deep in [false, true] {
+                    assert_invisible(
+                        &format!("race broken={broken} deep={deep} workers={workers} por={por}"),
+                        &reference,
+                        &run(true, deep, workers, por),
+                    );
+                }
             }
         }
     }
@@ -432,7 +449,7 @@ fn linearizability_is_identical_with_and_without_sharing() {
     );
     for broken in [false, true] {
         let iface = atomic_queue_iface(if broken { Some(999) } else { None });
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             check_linearizability_tuned(
                 &iface,
                 &focused,
@@ -444,16 +461,19 @@ fn linearizability_is_identical_with_and_without_sharing() {
                 workers,
                 por,
                 share,
+                deep,
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             for workers in WORKERS {
-                assert_invisible(
-                    &format!("linz broken={broken} workers={workers} por={por}"),
-                    &reference,
-                    &run(true, workers, por),
-                );
+                for deep in [false, true] {
+                    assert_invisible(
+                        &format!("linz broken={broken} deep={deep} workers={workers} por={por}"),
+                        &reference,
+                        &run(true, deep, workers, por),
+                    );
+                }
             }
         }
     }
@@ -470,7 +490,7 @@ fn sequence_refinement_is_identical_with_and_without_sharing() {
     for broken in [false, true] {
         let impl_iface = counter_iface("ctr-impl", broken);
         let spec_iface = counter_iface("ctr-spec", false);
-        let run = |share: bool, workers: usize, por: bool| {
+        let run = |share: bool, deep: bool, workers: usize, por: bool| {
             check_sequence_refinement_tuned(
                 &impl_iface,
                 &spec_iface,
@@ -482,16 +502,19 @@ fn sequence_refinement_is_identical_with_and_without_sharing() {
                 workers,
                 por,
                 share,
+                deep,
             )
         };
         for por in POR {
-            let reference = run(false, 1, por);
+            let reference = run(false, false, 1, por);
             for workers in WORKERS {
-                assert_invisible(
-                    &format!("seqref broken={broken} workers={workers} por={por}"),
-                    &reference,
-                    &run(true, workers, por),
-                );
+                for deep in [false, true] {
+                    assert_invisible(
+                        &format!("seqref broken={broken} deep={deep} workers={workers} por={por}"),
+                        &reference,
+                        &run(true, deep, workers, por),
+                    );
+                }
             }
         }
     }
@@ -540,12 +563,13 @@ proptest! {
         c2 in 0_u8..4,
         c3 in 0_u8..4,
         broken in 0_u8..2,
-        knobs in 0_u8..4,
+        knobs in 0_u8..8,
     ) {
         let contexts = random_contexts(len, [c1, c2, c3]);
         let broken = broken == 1;
         let por = knobs & 1 == 1;
         let workers = if knobs & 2 == 2 { 4 } else { 1 };
+        let deep = knobs & 4 == 4;
 
         // 1. Prim refinement.
         let sim = |share: bool, workers: usize| {
@@ -560,6 +584,7 @@ proptest! {
                 &[vec![], vec![], vec![]],
                 &SimOptions::default()
                     .with_prefix_share(share)
+                    .with_deep_share(deep)
                     .with_workers(workers)
                     .with_por(por),
             )
@@ -571,7 +596,7 @@ proptest! {
         let live = |share: bool, workers: usize| {
             check_liveness_tuned(
                 &wait_for_iface(1), "wait", &[], Pid(0), &contexts, bound, 100_000,
-                workers, por, share,
+                workers, por, share, deep,
             )
         };
         assert_invisible("live", &live(false, 1), &live(true, workers));
@@ -594,7 +619,7 @@ proptest! {
             let race = |share: bool, workers: usize| {
                 check_race_freedom_tuned(
                     &mx86_hw_interface(), &focused, &programs, &contexts, 50_000,
-                    workers, por, share,
+                    workers, por, share, deep,
                 )
             };
             assert_invisible("race", &race(false, 1), &race(true, workers));
@@ -624,6 +649,7 @@ proptest! {
                     workers,
                     por,
                     share,
+                    deep,
                 )
             };
             assert_invisible("linz", &linz(false, 1), &linz(true, workers));
@@ -644,6 +670,7 @@ proptest! {
                     workers,
                     por,
                     share,
+                    deep,
                 )
             };
             assert_invisible("seqref", &seq(false, 1), &seq(true, workers));
