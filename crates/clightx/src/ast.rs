@@ -23,6 +23,91 @@ use std::sync::Arc;
 
 use ccal_core::id::Loc;
 
+/// An interned ClightX identifier: a shared, immutable string.
+///
+/// Identifiers are minted once — at parse time (the parser deduplicates
+/// within a module) or by the lowering pass for its `$tN` temporaries —
+/// and every later occurrence is a reference-count bump. This keeps the
+/// interpreter's per-call `locals` population and per-statement cloning
+/// free of `String` deep copies, and makes bytecode frames cheap to fork.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ident(Arc<str>);
+
+impl Ident {
+    /// The identifier's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Ident {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident(Arc::from(s))
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident(Arc::from(s))
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<Ident> for str {
+    fn eq(&self, other: &Ident) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<Ident> for &str {
+    fn eq(&self, other: &Ident) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
 /// Binary operators. `&&`/`||` are surface-only (lowered to `if`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
@@ -116,20 +201,20 @@ pub enum Expr {
     /// A location (shared-object handle) literal. Surface syntax `#N`.
     LocConst(Loc),
     /// Variable reference.
-    Var(String),
+    Var(Ident),
     /// Binary operation.
     Binop(BinOp, Box<Expr>, Box<Expr>),
     /// Unary operation.
     Unop(UnOp, Box<Expr>),
     /// Function/primitive call — surface syntax only; the lowering pass
     /// hoists these into [`Stmt::Call`].
-    Call(String, Vec<Expr>),
+    Call(Ident, Vec<Expr>),
 }
 
 impl Expr {
     /// Convenience constructor for a variable.
     pub fn var(name: &str) -> Expr {
-        Expr::Var(name.to_owned())
+        Expr::Var(Ident::from(name))
     }
 
     /// Whether the expression contains any call node.
@@ -171,10 +256,10 @@ pub enum Stmt {
     /// No-op.
     Skip,
     /// `x = e;` (no calls in `e` after lowering).
-    Assign(String, Expr),
+    Assign(Ident, Expr),
     /// `x = f(a, b);` or `f(a, b);` — a call to a same-module function or
     /// an ambient-layer primitive.
-    Call(Option<String>, String, Vec<Expr>),
+    Call(Option<Ident>, Ident, Vec<Expr>),
     /// Statement sequence.
     Block(Vec<Stmt>),
     /// `if (e) { .. } else { .. }`.
@@ -205,10 +290,10 @@ pub struct CFunction {
     /// The function's name.
     pub name: String,
     /// Parameter names.
-    pub params: Vec<String>,
+    pub params: Vec<Ident>,
     /// Declared local variables (excluding parameters and compiler
     /// temporaries).
-    pub locals: Vec<String>,
+    pub locals: Vec<Ident>,
     /// The body.
     pub body: Stmt,
     /// Whether the function is declared to return a value (`int` vs

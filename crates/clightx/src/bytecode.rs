@@ -1,0 +1,223 @@
+//! Flat register bytecode for lowered ClightX.
+//!
+//! The compiled tier of the ClightX pipeline: [`crate::compile`] resolves
+//! every identifier to a dense *slot* index at compile (i.e. lower) time,
+//! so the VM ([`crate::vm`]) never touches a string-keyed map on its hot
+//! path, and loops become jumps to a code offset instead of per-iteration
+//! re-pushes of a cloned statement tree.
+//!
+//! The instruction set is deliberately small and mirrors the lowered
+//! statement language one-to-one, plus two branch fusions the compiler
+//! applies (`!`-folding into the branch polarity, and compare-and-branch
+//! for comparison conditions). Those fusions are semantics-preserving by
+//! construction: they reuse the interpreter's own value helpers
+//! ([`crate::interp`]) in the same order, so error strings and verdicts
+//! stay bit-identical across tiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ccal_core::val::Val;
+
+use crate::ast::{BinOp, Ident, UnOp};
+
+/// An instruction operand: a constant or a register slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An immediate value (integer or location literal).
+    Const(Val),
+    /// A register slot (parameter, local, or expression temporary).
+    Slot(u16),
+}
+
+/// The callee of a [`Inst::Call`], resolved at compile time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A function of the same compiled module, by index.
+    Internal(u32),
+    /// An ambient-layer primitive, dispatched through the layer
+    /// interface at its query point.
+    External(Ident),
+}
+
+/// A bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `regs[dst] = src`.
+    Mov {
+        /// Destination slot.
+        dst: u16,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `regs[dst] = op src`.
+    Unop {
+        /// Destination slot.
+        dst: u16,
+        /// The operator.
+        op: UnOp,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `regs[dst] = a op b`.
+    Binop {
+        /// Destination slot.
+        dst: u16,
+        /// The operator (never `&&`/`||`: those are desugared before
+        /// compilation).
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target code offset.
+        target: u32,
+    },
+    /// Jump to `target` when `truthy(cond) == expect`.
+    Branch {
+        /// The condition operand.
+        cond: Operand,
+        /// The polarity: jump on true (`true`) or on false (`false`).
+        expect: bool,
+        /// Target code offset.
+        target: u32,
+    },
+    /// Fused compare-and-branch: jump to `target` when
+    /// `truthy(a op b) == expect`. Only emitted for comparison
+    /// operators, whose results are always `0`/`1`.
+    CmpBranch {
+        /// The comparison operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// The polarity.
+        expect: bool,
+        /// Target code offset.
+        target: u32,
+    },
+    /// Call an internal function or external primitive; the result (unit
+    /// for void callees) lands in `dst` when present.
+    Call {
+        /// Destination slot for the returned value, if the source bound
+        /// one.
+        dst: Option<u16>,
+        /// The resolved callee.
+        target: CallTarget,
+        /// Argument operands, evaluated left to right.
+        args: Box<[Operand]>,
+    },
+    /// Return `src` (unit when absent) from the current activation.
+    Return {
+        /// The returned operand.
+        src: Option<Operand>,
+    },
+}
+
+impl Inst {
+    /// The branch/jump target, if this instruction has one.
+    pub fn target(&self) -> Option<u32> {
+        match self {
+            Inst::Jump { target }
+            | Inst::Branch { target, .. }
+            | Inst::CmpBranch { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+/// One compiled function: slot layout plus flat code.
+#[derive(Debug, Clone)]
+pub struct CompiledFn {
+    /// The function's name (for arity-error messages and lookups).
+    pub name: String,
+    /// The slot each parameter is stored into, in declaration order.
+    /// Duplicate parameter names share a slot, so later arguments win —
+    /// matching the interpreter's insertion order.
+    pub param_slots: Vec<u16>,
+    /// Slots re-initialised to `Undef` after parameter binding, in local
+    /// declaration order (a local shadowing a parameter overwrites it,
+    /// as in the interpreter).
+    pub local_slots: Vec<u16>,
+    /// Total register count (named slots plus expression temporaries).
+    pub nslots: u16,
+    /// The instruction sequence; always ends in a [`Inst::Return`].
+    pub code: Box<[Inst]>,
+}
+
+impl CompiledFn {
+    /// Number of declared parameters.
+    pub fn arity(&self) -> usize {
+        self.param_slots.len()
+    }
+}
+
+/// A compiled module: functions in the source module's (sorted) order,
+/// with internal calls resolved to indices.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledModule {
+    funcs: Vec<Arc<CompiledFn>>,
+    by_name: BTreeMap<String, u32>,
+}
+
+impl CompiledModule {
+    pub(crate) fn from_funcs(funcs: Vec<CompiledFn>) -> Self {
+        let by_name = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as u32))
+            .collect();
+        Self {
+            funcs: funcs.into_iter().map(Arc::new).collect(),
+            by_name,
+        }
+    }
+
+    /// The index of a function, for [`crate::vm::VmRun::new`].
+    pub fn fn_index(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The function at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (compiled call targets never are).
+    pub fn func(&self, id: u32) -> &Arc<CompiledFn> {
+        &self.funcs[id as usize]
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over compiled functions in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<CompiledFn>> {
+        self.funcs.iter()
+    }
+}
+
+impl fmt::Display for CompiledFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {} (params {:?}, locals {:?}, {} slots):",
+            self.name, self.param_slots, self.local_slots, self.nslots
+        )?;
+        for (i, inst) in self.code.iter().enumerate() {
+            writeln!(f, "  {i:4}: {inst:?}")?;
+        }
+        Ok(())
+    }
+}

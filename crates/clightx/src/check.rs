@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::ast::{CFunction, CModule, Expr, Stmt};
+use crate::ast::{CFunction, CModule, Expr, Ident, Stmt};
 use crate::lower::stmt_is_lowered;
 
 /// A static error in a ClightX module.
@@ -128,8 +128,8 @@ impl<'a> Checker<'a> {
 ///
 /// All [`CheckError`]s found (the check does not stop at the first).
 pub fn check_function(module: &CModule, func: &CFunction) -> Result<(), Vec<CheckError>> {
-    let mut vars: BTreeSet<&str> = func.params.iter().map(String::as_str).collect();
-    vars.extend(func.locals.iter().map(String::as_str));
+    let mut vars: BTreeSet<&str> = func.params.iter().map(Ident::as_str).collect();
+    vars.extend(func.locals.iter().map(Ident::as_str));
     let mut checker = Checker {
         module,
         func,

@@ -1,0 +1,520 @@
+//! Compilation of lowered ClightX to slot-resolved bytecode.
+//!
+//! Three things happen here, all at lower time rather than on the VM's
+//! hot path:
+//!
+//! 1. **Slot resolution** — every parameter, local, and `$tN` temporary
+//!    gets a dense register index; variable access in the VM is an array
+//!    index, not a `BTreeMap<String, _>` lookup.
+//! 2. **Control-flow flattening** — `loop`/`break`/`if` become jumps to
+//!    code offsets. A loop iteration re-enters at a `pc`, so the
+//!    per-iteration `Arc`/clone traffic of the tree-walking interpreter
+//!    disappears entirely.
+//! 3. **Branch fusion** — `if (!c)` folds into the branch polarity,
+//!    comparison conditions fuse into [`Inst::CmpBranch`], and branches
+//!    to unconditional jumps are threaded to their final target. The
+//!    ticket lock's `while (get_n(b) != my_t) {}` spin compiles to two
+//!    retired instructions per iteration (call + fused branch) versus
+//!    the interpreter's four work-items.
+//!
+//! Compilation is **whole-module-or-nothing**: any function the compiler
+//! cannot translate (undeclared names, stray `break`, unlowered code —
+//! everything [`crate::check`] would reject statically) fails the whole
+//! module, and [`crate::interp::module_from_lowered`] keeps such modules
+//! on the interpreter so their runtime error behaviour is unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ccal_core::val::Val;
+
+use crate::ast::{CFunction, CModule, Expr, Ident, Stmt, UnOp};
+use crate::bytecode::{CallTarget, CompiledFn, CompiledModule, Inst, Operand};
+use crate::lower::stmt_is_lowered;
+
+/// Why a function could not be compiled (the module then stays on the
+/// interpreter tier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The function that failed.
+    pub func: String,
+    /// What the compiler could not translate.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot compile `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+struct FnCompiler<'a> {
+    module: &'a CModule,
+    fn_ids: &'a HashMap<&'a str, u32>,
+    func: &'a CFunction,
+    slots: HashMap<Ident, u16>,
+    named_count: u16,
+    temp_next: u16,
+    max_slots: u16,
+    code: Vec<Inst>,
+    /// Break-jump patch sites, one list per active loop.
+    loop_breaks: Vec<Vec<usize>>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn fail(&self, message: impl Into<String>) -> CompileError {
+        CompileError {
+            func: self.func.name.clone(),
+            message: message.into(),
+        }
+    }
+
+    fn slot(&self, x: &Ident) -> Result<u16, CompileError> {
+        self.slots
+            .get(x)
+            .copied()
+            .ok_or_else(|| self.fail(format!("undeclared variable `{x}`")))
+    }
+
+    fn temp(&mut self) -> Result<u16, CompileError> {
+        let t = self.temp_next;
+        self.temp_next = self
+            .temp_next
+            .checked_add(1)
+            .ok_or_else(|| self.fail("expression needs too many temporaries"))?;
+        self.max_slots = self.max_slots.max(self.temp_next);
+        Ok(t)
+    }
+
+    /// Compiles an expression; emitted instructions leave the value in
+    /// the returned operand. Instruction order matches the interpreter's
+    /// evaluation order (left subtree fully, then right, then the
+    /// operator), so runtime errors surface identically.
+    fn expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match e {
+            Expr::Int(i) => Ok(Operand::Const(Val::Int(*i))),
+            Expr::LocConst(l) => Ok(Operand::Const(Val::Loc(*l))),
+            Expr::Var(x) => Ok(Operand::Slot(self.slot(x)?)),
+            Expr::Unop(op, a) => {
+                let src = self.expr(a)?;
+                let dst = self.temp()?;
+                self.code.push(Inst::Unop { dst, op: *op, src });
+                Ok(Operand::Slot(dst))
+            }
+            Expr::Binop(op, a, b) => {
+                if op.is_logical() {
+                    return Err(self.fail("short-circuit operator in lowered code"));
+                }
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                let dst = self.temp()?;
+                self.code.push(Inst::Binop { dst, op: *op, a, b });
+                Ok(Operand::Slot(dst))
+            }
+            Expr::Call(name, _) => Err(self.fail(format!(
+                "call to `{name}` inside an expression: code was not lowered"
+            ))),
+        }
+    }
+
+    /// Emits a conditional jump taken when `truthy(cond) == jump_if`,
+    /// folding `!` into the polarity and fusing comparisons. Returns the
+    /// patch site. The condition's truthiness is always still computed,
+    /// so type errors surface exactly as in the interpreter.
+    fn cond_jump(&mut self, cond: &Expr, jump_if: bool) -> Result<usize, CompileError> {
+        match cond {
+            Expr::Unop(UnOp::Not, inner) => self.cond_jump(inner, !jump_if),
+            Expr::Binop(op, a, b) if op.is_comparison() => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                self.code.push(Inst::CmpBranch {
+                    op: *op,
+                    a,
+                    b,
+                    expect: jump_if,
+                    target: 0,
+                });
+                Ok(self.code.len() - 1)
+            }
+            _ => {
+                let cond = self.expr(cond)?;
+                self.code.push(Inst::Branch {
+                    cond,
+                    expect: jump_if,
+                    target: 0,
+                });
+                Ok(self.code.len() - 1)
+            }
+        }
+    }
+
+    fn patch(&mut self, site: usize, target: u32) {
+        match &mut self.code[site] {
+            Inst::Jump { target: t }
+            | Inst::Branch { target: t, .. }
+            | Inst::CmpBranch { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn here(&self) -> Result<u32, CompileError> {
+        u32::try_from(self.code.len()).map_err(|_| self.fail("function too large"))
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        // Expression temporaries are dead across statements; reuse them.
+        self.temp_next = self.named_count;
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(x, e) => {
+                let dst = self.slot(x)?;
+                let src = self.expr(e)?;
+                self.code.push(Inst::Mov { dst, src });
+            }
+            Stmt::Call(dst, name, args) => {
+                let dst = match dst {
+                    Some(d) => Some(self.slot(d)?),
+                    None => None,
+                };
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                let target = match self.fn_ids.get(name.as_str()) {
+                    Some(&fid) => {
+                        let callee = self.module.get(name).expect("indexed function");
+                        if callee.params.len() != args.len() {
+                            // The interpreter reports this at call time;
+                            // fall back so the message is preserved.
+                            return Err(self.fail(format!(
+                                "`{name}` expects {} arguments, called with {}",
+                                callee.params.len(),
+                                args.len()
+                            )));
+                        }
+                        CallTarget::Internal(fid)
+                    }
+                    None => CallTarget::External(name.clone()),
+                };
+                self.code.push(Inst::Call {
+                    dst,
+                    target,
+                    args: ops.into_boxed_slice(),
+                });
+            }
+            Stmt::Block(v) => {
+                for s in v {
+                    self.stmt(s)?;
+                }
+            }
+            Stmt::If(c, t, e) => {
+                let t_empty = stmt_is_empty(t);
+                let e_empty = stmt_is_empty(e);
+                if t_empty && e_empty {
+                    // Still evaluate the condition for its type check.
+                    let site = self.cond_jump(c, false)?;
+                    let end = self.here()?;
+                    self.patch(site, end);
+                } else if e_empty {
+                    let site = self.cond_jump(c, false)?;
+                    self.stmt(t)?;
+                    let end = self.here()?;
+                    self.patch(site, end);
+                } else if t_empty {
+                    let site = self.cond_jump(c, true)?;
+                    self.stmt(e)?;
+                    let end = self.here()?;
+                    self.patch(site, end);
+                } else {
+                    let to_else = self.cond_jump(c, false)?;
+                    self.stmt(t)?;
+                    self.code.push(Inst::Jump { target: 0 });
+                    let to_end = self.code.len() - 1;
+                    let else_at = self.here()?;
+                    self.patch(to_else, else_at);
+                    self.stmt(e)?;
+                    let end = self.here()?;
+                    self.patch(to_end, end);
+                }
+            }
+            Stmt::While(..) => {
+                return Err(self.fail("while in lowered code (lowering bug)"));
+            }
+            Stmt::Loop(body) => {
+                let head = self.here()?;
+                self.loop_breaks.push(Vec::new());
+                self.stmt(body)?;
+                self.code.push(Inst::Jump { target: head });
+                let end = self.here()?;
+                let breaks = self.loop_breaks.pop().expect("pushed above");
+                for site in breaks {
+                    self.patch(site, end);
+                }
+            }
+            Stmt::Break => {
+                self.code.push(Inst::Jump { target: 0 });
+                let site = self.code.len() - 1;
+                match self.loop_breaks.last_mut() {
+                    Some(v) => v.push(site),
+                    None => return Err(self.fail("break outside of a loop")),
+                }
+            }
+            Stmt::Return(e) => {
+                let src = match e {
+                    Some(e) => Some(self.expr(e)?),
+                    None => None,
+                };
+                self.code.push(Inst::Return { src });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn stmt_is_empty(s: &Stmt) -> bool {
+    match s {
+        Stmt::Skip => true,
+        Stmt::Block(v) => v.iter().all(stmt_is_empty),
+        _ => false,
+    }
+}
+
+/// Threads branches whose target is an unconditional jump directly to
+/// the final destination. This is what makes a compiled spin loop's
+/// back-edge a single retired instruction: the fused `CmpBranch` of
+/// `if (!(t != my)) break;` jumps straight back to the loop head
+/// instead of landing on the `Jump` that follows it.
+fn thread_jumps(code: &mut [Inst]) {
+    let resolve = |code: &[Inst], mut t: u32| {
+        // The hop bound guards against jump-to-self cycles.
+        for _ in 0..code.len() {
+            match code.get(t as usize) {
+                Some(Inst::Jump { target }) if *target != t => t = *target,
+                _ => break,
+            }
+        }
+        t
+    };
+    for i in 0..code.len() {
+        if let Some(t) = code[i].target() {
+            let t2 = resolve(code, t);
+            if t2 != t {
+                match &mut code[i] {
+                    Inst::Jump { target }
+                    | Inst::Branch { target, .. }
+                    | Inst::CmpBranch { target, .. } => *target = t2,
+                    _ => unreachable!("target() returned Some"),
+                }
+            }
+        }
+    }
+}
+
+/// Compiles one lowered function against its module.
+///
+/// # Errors
+///
+/// [`CompileError`] for constructs the bytecode tier does not execute
+/// (the caller then falls back to the interpreter for the whole module).
+pub fn compile_function(
+    module: &CModule,
+    fn_ids: &HashMap<&str, u32>,
+    func: &CFunction,
+) -> Result<CompiledFn, CompileError> {
+    let mut c = FnCompiler {
+        module,
+        fn_ids,
+        func,
+        slots: HashMap::new(),
+        named_count: 0,
+        temp_next: 0,
+        max_slots: 0,
+        code: Vec::new(),
+        loop_breaks: Vec::new(),
+    };
+    if !stmt_is_lowered(&func.body) {
+        return Err(c.fail("function body is not in lowered form"));
+    }
+    // Slot assignment mirrors the interpreter's `BTreeMap` insertion:
+    // params in order, then locals; duplicate names share a slot so the
+    // later initialisation wins.
+    let bind = |c: &mut FnCompiler<'_>, name: &Ident| -> Result<u16, CompileError> {
+        let next = c.named_count;
+        let slot = *c.slots.entry(name.clone()).or_insert(next);
+        if slot == next {
+            c.named_count = next
+                .checked_add(1)
+                .ok_or_else(|| c.fail("too many variables"))?;
+        }
+        Ok(slot)
+    };
+    let mut param_slots = Vec::with_capacity(func.params.len());
+    for p in &func.params {
+        param_slots.push(bind(&mut c, p)?);
+    }
+    let mut local_slots = Vec::with_capacity(func.locals.len());
+    for l in &func.locals {
+        local_slots.push(bind(&mut c, l)?);
+    }
+    c.max_slots = c.named_count;
+    c.temp_next = c.named_count;
+    c.stmt(&func.body)?;
+    // No implicit trailing return: the VM treats a program counter one
+    // past the end as frame completion with `Unit`, uncharged — matching
+    // the interpreter, whose drained work stack also completes for free.
+    // Jumps (loop breaks, branch joins) may legitimately target
+    // `code.len()`.
+    thread_jumps(&mut c.code);
+    Ok(CompiledFn {
+        name: func.name.clone(),
+        param_slots,
+        local_slots,
+        nslots: c.max_slots,
+        code: c.code.into_boxed_slice(),
+    })
+}
+
+/// Compiles a whole lowered module, whole-module-or-nothing.
+///
+/// # Errors
+///
+/// The first [`CompileError`] encountered; the caller keeps the module
+/// on the interpreter tier in that case.
+pub fn compile_module(module: &CModule) -> Result<CompiledModule, CompileError> {
+    let fn_ids: HashMap<&str, u32> = module
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i as u32))
+        .collect();
+    let mut funcs = Vec::with_capacity(module.len());
+    for f in module.iter() {
+        funcs.push(compile_function(module, &fn_ids, f)?);
+    }
+    Ok(CompiledModule::from_funcs(funcs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_module;
+    use crate::parser::parse_module;
+
+    fn compiled(src: &str) -> CompiledModule {
+        compile_module(&lower_module(&parse_module(src).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn compiles_straight_line_code() {
+        let m = compiled("int f(int x) { int y = x + 1; return y * 2; }");
+        assert_eq!(m.len(), 1);
+        let f = m.func(0);
+        assert_eq!(f.arity(), 1);
+        // The explicit `return` is the last instruction: no implicit
+        // trailing return is appended — falling off the end is the VM's
+        // free completion path.
+        assert!(matches!(f.code.last(), Some(Inst::Return { src: Some(_) })));
+    }
+
+    #[test]
+    fn spin_loop_compiles_to_two_hot_instructions() {
+        // while (get_n(b) != my_t) {} — the ticket-lock spin (Fig. 10).
+        let m = compiled("void f(int b) { int my_t = 0; while (get_n(b) != my_t) {} }");
+        let f = m.func(0);
+        // Find the external call; the fused branch right after it must
+        // jump (when the comparison holds) straight back to the call —
+        // two retired instructions per spin iteration.
+        let call_at = f
+            .code
+            .iter()
+            .position(|i| matches!(i, Inst::Call { .. }))
+            .expect("a call to get_n");
+        match &f.code[call_at + 1] {
+            Inst::CmpBranch { expect, target, .. } => {
+                assert!(*expect, "spin continues while the comparison holds");
+                assert_eq!(
+                    *target, call_at as u32,
+                    "back-edge threads through the loop jump to the call"
+                );
+            }
+            other => panic!("expected fused branch after spin call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_folds_into_branch_polarity() {
+        let m = compiled("int f(int x) { if (!(x < 3)) { return 1; } return 0; }");
+        let f = m.func(0);
+        assert!(
+            !f.code
+                .iter()
+                .any(|i| matches!(i, Inst::Unop { op: UnOp::Not, .. })),
+            "no materialised `!` in branch position: {f}"
+        );
+        assert!(f.code.iter().any(|i| matches!(i, Inst::CmpBranch { .. })));
+    }
+
+    #[test]
+    fn undeclared_variable_fails_compilation() {
+        use crate::ast::{CFunction, Expr, Stmt};
+        // The checker rejects this too; built directly to hit the
+        // compiler's own guard.
+        let f = CFunction {
+            name: "f".into(),
+            params: vec![],
+            locals: vec![],
+            body: Stmt::Return(Some(Expr::var("nope"))),
+            returns_value: true,
+        };
+        let m = CModule::new().with_fn(f);
+        let err = compile_module(&m).unwrap_err();
+        assert!(err.message.contains("undeclared variable `nope`"));
+    }
+
+    #[test]
+    fn break_outside_loop_fails_compilation() {
+        use crate::ast::{CFunction, Stmt};
+        let f = CFunction {
+            name: "f".into(),
+            params: vec![],
+            locals: vec![],
+            body: Stmt::Break,
+            returns_value: false,
+        };
+        let m = CModule::new().with_fn(f);
+        assert!(compile_module(&m).is_err());
+    }
+
+    #[test]
+    fn internal_calls_resolve_to_indices() {
+        let m = compiled("int g(int x) { return x + 1; } int f(int x) { int y = g(x); return y; }");
+        // Functions sort by name: f = 0, g = 1.
+        let f = m.func(m.fn_index("f").unwrap());
+        assert!(f.code.iter().any(|i| matches!(
+            i,
+            Inst::Call {
+                target: CallTarget::Internal(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_locals_share_slots() {
+        use crate::ast::{CFunction, Expr, Ident, Stmt};
+        let x = Ident::from("x");
+        let f = CFunction {
+            name: "f".into(),
+            params: vec![x.clone()],
+            locals: vec![x.clone()],
+            body: Stmt::Return(Some(Expr::Var(x))),
+            returns_value: true,
+        };
+        let m = CModule::new().with_fn(f);
+        let cm = compile_module(&m).unwrap();
+        let cf = cm.func(0);
+        assert_eq!(cf.param_slots, vec![0]);
+        assert_eq!(cf.local_slots, vec![0], "local shadows the parameter");
+    }
+}

@@ -6,6 +6,13 @@
 //! bubble up through [`PrimRun::resume`] — so C-level module code
 //! interleaves with other participants exactly where the machine model
 //! says it can, and nowhere else.
+//!
+//! The interpreter is the *reference tier*: [`module_from_lowered`] also
+//! compiles each module to flat bytecode ([`crate::compile`]) and, when
+//! [`ccal_core::prefix::bytecode_effective`] says so, instantiates the
+//! [`crate::vm::VmRun`] VM instead. Both tiers share the value semantics
+//! in this module ([`truthy`], [`apply_unop`], [`apply_binop`]) so their
+//! verdicts, logs, and error strings are bit-identical.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -15,13 +22,15 @@ use ccal_core::machine::MachineError;
 use ccal_core::module::{Lang, Module};
 use ccal_core::val::Val;
 
-use crate::ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+use crate::ast::{BinOp, CFunction, CModule, Expr, Ident, Stmt, UnOp};
 use crate::lower::{lower_module, stmt_is_lowered};
 
 /// Step budget per run, guarding against loops without query points.
-const STEP_BUDGET: u64 = 1_000_000;
+/// Shared by both execution tiers ([`CRun`] and [`crate::vm::VmRun`]).
+pub(crate) const STEP_BUDGET: u64 = 1_000_000;
 
-fn truthy(v: &Val) -> Result<bool, MachineError> {
+/// Coerces a condition value to a boolean, C-style.
+pub(crate) fn truthy(v: &Val) -> Result<bool, MachineError> {
     match v {
         Val::Int(i) => Ok(*i != 0),
         Val::Bool(b) => Ok(*b),
@@ -31,7 +40,59 @@ fn truthy(v: &Val) -> Result<bool, MachineError> {
     }
 }
 
-fn eval(e: &Expr, locals: &BTreeMap<String, Val>) -> Result<Val, MachineError> {
+/// Applies a unary operator. Shared by the interpreter and the VM so both
+/// tiers agree on results and error strings.
+pub(crate) fn apply_unop(op: UnOp, v: &Val) -> Result<Val, MachineError> {
+    match op {
+        UnOp::Not => Ok(Val::Int(i64::from(!truthy(v)?))),
+        UnOp::Neg => Ok(Val::Int(v.as_int()?.wrapping_neg())),
+    }
+}
+
+/// Applies a (lowered, non-logical) binary operator. The evaluation-order
+/// contract both tiers rely on: `Eq`/`Ne` compare structurally without
+/// coercion; everything else coerces the left value, then the right, then
+/// checks for division by zero.
+pub(crate) fn apply_binop(op: BinOp, va: &Val, vb: &Val) -> Result<Val, MachineError> {
+    match op {
+        BinOp::Eq => Ok(Val::Int(i64::from(va == vb))),
+        BinOp::Ne => Ok(Val::Int(i64::from(va != vb))),
+        _ => {
+            let x = va.as_int()?;
+            let y = vb.as_int()?;
+            let r = match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(MachineError::Stuck("division by zero".into()));
+                    }
+                    x.wrapping_div(y)
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        return Err(MachineError::Stuck("remainder by zero".into()));
+                    }
+                    x.wrapping_rem(y)
+                }
+                BinOp::Lt => i64::from(x < y),
+                BinOp::Le => i64::from(x <= y),
+                BinOp::Gt => i64::from(x > y),
+                BinOp::Ge => i64::from(x >= y),
+                BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
+                BinOp::And | BinOp::Or => {
+                    return Err(MachineError::Stuck(
+                        "short-circuit operator in lowered code".into(),
+                    ));
+                }
+            };
+            Ok(Val::Int(r))
+        }
+    }
+}
+
+fn eval(e: &Expr, locals: &BTreeMap<Ident, Val>) -> Result<Val, MachineError> {
     match e {
         Expr::Int(i) => Ok(Val::Int(*i)),
         Expr::LocConst(l) => Ok(Val::Loc(*l)),
@@ -39,47 +100,11 @@ fn eval(e: &Expr, locals: &BTreeMap<String, Val>) -> Result<Val, MachineError> {
             .get(x)
             .cloned()
             .ok_or_else(|| MachineError::Stuck(format!("use of undeclared variable `{x}`"))),
-        Expr::Unop(UnOp::Not, a) => Ok(Val::Int(i64::from(!truthy(&eval(a, locals)?)?))),
-        Expr::Unop(UnOp::Neg, a) => Ok(Val::Int(eval(a, locals)?.as_int()?.wrapping_neg())),
+        Expr::Unop(op, a) => apply_unop(*op, &eval(a, locals)?),
         Expr::Binop(op, a, b) => {
             let va = eval(a, locals)?;
             let vb = eval(b, locals)?;
-            match op {
-                BinOp::Eq => Ok(Val::Int(i64::from(va == vb))),
-                BinOp::Ne => Ok(Val::Int(i64::from(va != vb))),
-                _ => {
-                    let x = va.as_int()?;
-                    let y = vb.as_int()?;
-                    let r = match op {
-                        BinOp::Add => x.wrapping_add(y),
-                        BinOp::Sub => x.wrapping_sub(y),
-                        BinOp::Mul => x.wrapping_mul(y),
-                        BinOp::Div => {
-                            if y == 0 {
-                                return Err(MachineError::Stuck("division by zero".into()));
-                            }
-                            x.wrapping_div(y)
-                        }
-                        BinOp::Rem => {
-                            if y == 0 {
-                                return Err(MachineError::Stuck("remainder by zero".into()));
-                            }
-                            x.wrapping_rem(y)
-                        }
-                        BinOp::Lt => i64::from(x < y),
-                        BinOp::Le => i64::from(x <= y),
-                        BinOp::Gt => i64::from(x > y),
-                        BinOp::Ge => i64::from(x >= y),
-                        BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
-                        BinOp::And | BinOp::Or => {
-                            return Err(MachineError::Stuck(
-                                "short-circuit operator in lowered code".into(),
-                            ));
-                        }
-                    };
-                    Ok(Val::Int(r))
-                }
-            }
+            apply_binop(*op, &va, &vb)
         }
         Expr::Call(name, _) => Err(MachineError::Stuck(format!(
             "call to `{name}` inside an expression: code was not lowered"
@@ -87,28 +112,42 @@ fn eval(e: &Expr, locals: &BTreeMap<String, Val>) -> Result<Val, MachineError> {
     }
 }
 
+/// A loop body, exploded once into its statement sequence so every
+/// iteration re-arms with reference-count bumps instead of a deep clone
+/// of the body tree.
+type LoopBody = Arc<[Arc<Stmt>]>;
+
+fn explode_shared(body: &Stmt) -> LoopBody {
+    match body {
+        Stmt::Block(v) => v.iter().map(|s| Arc::new(s.clone())).collect(),
+        s => std::iter::once(Arc::new(s.clone())).collect(),
+    }
+}
+
 #[derive(Debug, Clone)]
 enum WItem {
-    Stmt(Stmt),
+    /// A statement to execute. `Arc`-shared so loop iterations and block
+    /// expansions push pointers, not tree clones.
+    Stmt(Arc<Stmt>),
     /// Marker for an active loop; popped by `break`, re-armed on normal
     /// fall-through.
-    Loop(Stmt),
+    Loop(LoopBody),
 }
 
 #[derive(Debug, Clone)]
 struct CFrame {
     func: Arc<CFunction>,
-    locals: BTreeMap<String, Val>,
+    locals: BTreeMap<Ident, Val>,
     work: Vec<WItem>,
     /// Where the *caller* stores this frame's return value.
-    ret_dst: Option<String>,
+    ret_dst: Option<Ident>,
 }
 
 impl CFrame {
     fn new(
         func: Arc<CFunction>,
         args: &[Val],
-        ret_dst: Option<String>,
+        ret_dst: Option<Ident>,
     ) -> Result<Self, MachineError> {
         if args.len() != func.params.len() {
             return Err(MachineError::Stuck(format!(
@@ -125,7 +164,7 @@ impl CFrame {
         for l in &func.locals {
             locals.insert(l.clone(), Val::Undef);
         }
-        let work = vec![WItem::Stmt(func.body.clone())];
+        let work = vec![WItem::Stmt(Arc::new(func.body.clone()))];
         Ok(Self {
             func,
             locals,
@@ -139,8 +178,12 @@ impl CFrame {
 pub struct CRun {
     module: Arc<CModule>,
     frames: Vec<CFrame>,
-    pending: Option<(SubCall, Option<String>)>,
+    pending: Option<(SubCall, Option<Ident>)>,
     budget: u64,
+    /// Budget at the last [`PrimRun::resume`] return, for batched
+    /// intra-primitive step accounting
+    /// ([`ccal_core::prefix::record_prim_steps`]).
+    reported: u64,
     init_error: Option<MachineError>,
     result: Option<Val>,
 }
@@ -167,6 +210,7 @@ impl CRun {
             frames,
             pending: None,
             budget: STEP_BUDGET,
+            reported: STEP_BUDGET,
             init_error,
             result: None,
         }
@@ -202,10 +246,8 @@ impl CRun {
             }
         }
     }
-}
 
-impl PrimRun for CRun {
-    fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
+    fn resume_inner(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
         if let Some(e) = self.init_error.take() {
             return Err(e);
         }
@@ -248,33 +290,43 @@ impl PrimRun for CRun {
             };
             match item {
                 WItem::Loop(body) => {
-                    // Re-arm the loop and run its body again.
+                    // Re-arm the loop and run its body again — pointer
+                    // pushes only.
                     frame.work.push(WItem::Loop(body.clone()));
-                    frame.work.push(WItem::Stmt(body));
+                    for s in body.iter().rev() {
+                        frame.work.push(WItem::Stmt(s.clone()));
+                    }
                 }
-                WItem::Stmt(stmt) => match stmt {
+                WItem::Stmt(rc) => match &*rc {
                     Stmt::Skip => {}
                     Stmt::Assign(x, e) => {
-                        let v = eval(&e, &frame.locals)?;
-                        if !frame.locals.contains_key(&x) {
+                        let v = eval(e, &frame.locals)?;
+                        if !frame.locals.contains_key(x) {
                             return Err(MachineError::Stuck(format!(
                                 "assignment to undeclared variable `{x}`"
                             )));
                         }
-                        frame.locals.insert(x, v);
+                        frame.locals.insert(x.clone(), v);
                     }
                     Stmt::Block(stmts) => {
-                        for s in stmts.into_iter().rev() {
-                            frame.work.push(WItem::Stmt(s));
+                        for s in stmts.iter().rev() {
+                            frame.work.push(WItem::Stmt(Arc::new(s.clone())));
                         }
                     }
                     Stmt::If(c, t, e) => {
-                        let branch = if truthy(&eval(&c, &frame.locals)?)? { t } else { e };
-                        frame.work.push(WItem::Stmt(*branch));
+                        let branch = if truthy(&eval(c, &frame.locals)?)? {
+                            t
+                        } else {
+                            e
+                        };
+                        frame.work.push(WItem::Stmt(Arc::new((**branch).clone())));
                     }
                     Stmt::Loop(body) => {
-                        frame.work.push(WItem::Loop((*body).clone()));
-                        frame.work.push(WItem::Stmt(*body));
+                        let body = explode_shared(body);
+                        frame.work.push(WItem::Loop(body.clone()));
+                        for s in body.iter().rev() {
+                            frame.work.push(WItem::Stmt(s.clone()));
+                        }
                     }
                     Stmt::While(..) => {
                         return Err(MachineError::Stuck(
@@ -284,7 +336,7 @@ impl PrimRun for CRun {
                     Stmt::Break => self.do_break()?,
                     Stmt::Return(e) => {
                         let v = match e {
-                            Some(e) => eval(&e, &frame.locals)?,
+                            Some(e) => eval(e, &frame.locals)?,
                             None => Val::Unit,
                         };
                         // Unwind this frame entirely.
@@ -296,18 +348,30 @@ impl PrimRun for CRun {
                     }
                     Stmt::Call(dst, name, args) => {
                         let mut vals = Vec::with_capacity(args.len());
-                        for a in &args {
+                        for a in args {
                             vals.push(eval(a, &frame.locals)?);
                         }
-                        if let Some(callee) = self.module.get(&name).cloned() {
-                            self.frames.push(CFrame::new(callee, &vals, dst)?);
+                        if let Some(callee) = self.module.get(name).cloned() {
+                            self.frames.push(CFrame::new(callee, &vals, dst.clone())?);
                         } else {
-                            self.pending = Some((SubCall::start(ctx, &name, vals)?, dst));
+                            self.pending = Some((SubCall::start(ctx, name, vals)?, dst.clone()));
                         }
                     }
                 },
             }
         }
+    }
+}
+
+impl PrimRun for CRun {
+    fn resume(&mut self, ctx: &mut PrimCtx<'_>) -> Result<PrimStep, MachineError> {
+        let r = self.resume_inner(ctx);
+        let spent = self.reported - self.budget;
+        if spent > 0 {
+            ccal_core::prefix::record_prim_steps(spent);
+            self.reported = self.budget;
+        }
+        r
     }
 
     fn fork_run(&self) -> Option<Box<dyn PrimRun>> {
@@ -320,6 +384,7 @@ impl PrimRun for CRun {
             frames: self.frames.clone(),
             pending,
             budget: self.budget,
+            reported: self.reported,
             init_error: self.init_error.clone(),
             result: self.result.clone(),
         }))
@@ -361,15 +426,34 @@ pub fn clightx_module(name: &str, src: &str) -> Result<Module, crate::CError> {
 }
 
 /// Wraps an already-lowered [`CModule`] as a core [`Module`].
+///
+/// The module is compiled to flat bytecode once, whole-module-or-nothing
+/// ([`crate::compile::compile_module`]); each instantiation then picks the
+/// execution tier via [`ccal_core::prefix::bytecode_effective`]. Modules
+/// the compiler rejects (undeclared variables, stray `break`s — code the
+/// static checker would refuse anyway) always run on the interpreter, so
+/// their runtime error strings are unchanged.
 pub fn module_from_lowered(name: &str, lowered: &CModule) -> Module {
     let shared_module = Arc::new(lowered.clone());
+    let compiled = crate::compile::compile_module(lowered).ok().map(Arc::new);
     let mut m = Module::new(name);
     for f in lowered.iter() {
         let func = f.clone();
         let module = shared_module.clone();
-        let spec = ccal_core::layer::PrimSpec::strategy(&f.name, true, move |_pid, args| {
-            Box::new(CRun::new(module.clone(), func.clone(), args))
-        });
+        let vm_target = compiled
+            .as_ref()
+            .and_then(|cm| cm.fn_index(&f.name).map(|fid| (cm.clone(), fid)));
+        let spec =
+            ccal_core::layer::PrimSpec::strategy(
+                &f.name,
+                true,
+                move |_pid, args| match &vm_target {
+                    Some((cm, fid)) if ccal_core::prefix::bytecode_effective() => {
+                        Box::new(crate::vm::VmRun::new(cm.clone(), *fid, args))
+                    }
+                    _ => Box::new(CRun::new(module.clone(), func.clone(), args)),
+                },
+            );
         m = m.with_fn(Lang::C, spec);
     }
     m
@@ -500,5 +584,19 @@ mod tests {
             run_over(iface, "int f() { return takes_loc(#9); }", "f", &[]).unwrap(),
             Val::Int(9)
         );
+    }
+
+    #[test]
+    fn interpreter_tier_matches_results_when_forced() {
+        // The same sources with the bytecode tier forced off must produce
+        // the same values (the full differential matrix lives in the
+        // `bytecode_differential` integration suite).
+        let _off = ccal_core::prefix::BytecodeOverride::force(false);
+        assert_eq!(
+            run("int f(int x) { return x * 3 - 1; }", "f", &[Val::Int(4)]).unwrap(),
+            Val::Int(11)
+        );
+        let src = "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }";
+        assert_eq!(run(src, "fact", &[Val::Int(6)]).unwrap(), Val::Int(720));
     }
 }

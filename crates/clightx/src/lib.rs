@@ -9,7 +9,11 @@
 //!
 //! Pipeline: [`parser`] (surface syntax) → [`lower`] (call hoisting,
 //! short-circuit and loop desugaring) → [`check`] (static well-formedness)
-//! → [`interp`] (resumable execution over an ambient interface).
+//! → execution. Execution has two bit-identical tiers: the tree-walking
+//! interpreter [`interp`] and the compiled tier ([`compile`] slot-resolves
+//! to [`bytecode`], run by the [`vm`]), selected per instantiation via
+//! `ccal_core::prefix::bytecode_effective` (`CCAL_BYTECODE=0` forces the
+//! interpreter).
 //!
 //! The one-call entry point is [`clightx_module`], which yields a core
 //! `Module` ready for `install`/`check_fun`:
@@ -35,18 +39,24 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod check;
+pub mod compile;
 pub mod interp;
 pub mod lower;
 pub mod parser;
 pub mod pretty;
+pub mod vm;
 
-pub use ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+pub use ast::{BinOp, CFunction, CModule, Expr, Ident, Stmt, UnOp};
+pub use bytecode::{CompiledFn, CompiledModule};
 pub use check::{check_function, check_module, CheckError};
+pub use compile::{compile_module, CompileError};
 pub use interp::{clightx_module, module_from_lowered, CRun};
 pub use lower::{lower_function, lower_module};
 pub use parser::{parse_module, ParseError};
 pub use pretty::{print_function, print_module};
+pub use vm::VmRun;
 
 /// A front-end error: parse failure or static-check failures.
 #[derive(Debug, Clone, PartialEq, Eq)]

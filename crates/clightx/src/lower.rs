@@ -15,16 +15,16 @@
 //!    `loop { <hoisted c>; if (!c') break; .. }`, so the condition's calls
 //!    re-execute on every iteration.
 
-use crate::ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+use crate::ast::{BinOp, CFunction, CModule, Expr, Ident, Stmt, UnOp};
 
 struct Lowerer {
     counter: u32,
-    temps: Vec<String>,
+    temps: Vec<Ident>,
 }
 
 impl Lowerer {
-    fn fresh(&mut self) -> String {
-        let name = format!("$t{}", self.counter);
+    fn fresh(&mut self) -> Ident {
+        let name = Ident::from(format!("$t{}", self.counter));
         self.counter += 1;
         self.temps.push(name.clone());
         name
@@ -255,7 +255,7 @@ mod tests {
         let m = lowered("int f(int x) { return x != 0 && g(x); }");
         let f = m.get("f").unwrap();
         // g must only be called inside an if-branch, not unconditionally.
-        fn top_level_calls(s: &Stmt, acc: &mut Vec<String>) {
+        fn top_level_calls(s: &Stmt, acc: &mut Vec<Ident>) {
             match s {
                 Stmt::Call(_, name, _) => acc.push(name.clone()),
                 Stmt::Block(v) => v.iter().for_each(|s| top_level_calls(s, acc)),
@@ -265,7 +265,7 @@ mod tests {
         let mut calls = Vec::new();
         top_level_calls(&f.body, &mut calls);
         assert!(
-            !calls.contains(&"g".to_owned()),
+            !calls.iter().any(|c| c == "g"),
             "g hoisted to top level: short-circuit broken"
         );
     }

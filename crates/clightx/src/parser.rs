@@ -17,11 +17,12 @@
 //! ClightX values are dynamically checked, `int` doubles as the handle
 //! type (as `uint` does in the paper's pseudocode).
 
+use std::collections::HashSet;
 use std::fmt;
 
 use ccal_core::id::Loc;
 
-use crate::ast::{BinOp, CFunction, CModule, Expr, Stmt, UnOp};
+use crate::ast::{BinOp, CFunction, CModule, Expr, Ident, Stmt, UnOp};
 
 /// A parse error with (1-based) line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -71,8 +76,8 @@ struct Lexer<'a> {
 }
 
 const PUNCTS: [&str; 22] = [
-    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", ",", ";", "=", "<", ">", "+", "-",
-    "*", "/", "%", "!", "#",
+    "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{", "}", ",", ";", "=", "<", ">", "+", "-", "*",
+    "/", "%", "!", "#",
 ];
 
 impl<'a> Lexer<'a> {
@@ -186,12 +191,11 @@ impl<'a> Lexer<'a> {
             return Ok((Tok::LocLit(value), line, col));
         }
         for p in PUNCTS {
-            if p.len() == 2
-                && self.src[self.pos..].starts_with(p.as_bytes()) {
-                    self.bump();
-                    self.bump();
-                    return Ok((Tok::Punct(p), line, col));
-                }
+            if p.len() == 2 && self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.bump();
+                self.bump();
+                return Ok((Tok::Punct(p), line, col));
+            }
         }
         for p in PUNCTS {
             if p.len() == 1 && self.src[self.pos..].starts_with(p.as_bytes()) {
@@ -208,7 +212,10 @@ struct Parser {
     idx: usize,
     /// Locals of the function currently being parsed (declarations are
     /// allowed in any statement position, with C-style function scope).
-    locals: Vec<String>,
+    locals: Vec<Ident>,
+    /// Identifiers interned so far: every occurrence of a name in the
+    /// module shares one allocation.
+    interned: HashSet<Ident>,
 }
 
 impl Parser {
@@ -251,11 +258,20 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    fn intern(&mut self, s: &str) -> Ident {
+        if let Some(i) = self.interned.get(s) {
+            return i.clone();
+        }
+        let i = Ident::from(s);
+        self.interned.insert(i.clone());
+        i
+    }
+
+    fn ident(&mut self) -> Result<Ident, ParseError> {
         match self.peek().clone() {
             Tok::Ident(s) => {
                 self.advance();
-                Ok(s)
+                Ok(self.intern(&s))
             }
             other => Err(self.error_here(format!("expected identifier, found {other}"))),
         }
@@ -305,7 +321,7 @@ impl Parser {
             }
         }
         Ok(CFunction {
-            name,
+            name: name.to_string(),
             params,
             locals: std::mem::take(&mut self.locals),
             body: Stmt::Block(stmts),
@@ -313,7 +329,7 @@ impl Parser {
         })
     }
 
-    fn finish_assign(&mut self, var: String, rhs: Expr) -> Result<Stmt, ParseError> {
+    fn finish_assign(&mut self, var: Ident, rhs: Expr) -> Result<Stmt, ParseError> {
         self.eat_punct(";")?;
         Ok(match rhs {
             Expr::Call(name, args) => Stmt::Call(Some(var), name, args),
@@ -534,6 +550,7 @@ impl Parser {
             }
             Tok::Ident(name) => {
                 self.advance();
+                let name = self.intern(&name);
                 if self.peek() == &Tok::Punct("(") {
                     let args = self.call_args()?;
                     Ok(Expr::Call(name, args))
@@ -576,6 +593,7 @@ pub fn parse_module(src: &str) -> Result<CModule, ParseError> {
         toks,
         idx: 0,
         locals: Vec::new(),
+        interned: HashSet::new(),
     };
     let module = parser.module()?;
     Ok(module)
@@ -640,7 +658,9 @@ mod tests {
         let m = parse_module("int f() { return 1 + 2 * 3 == 7; }").unwrap();
         let f = m.get("f").unwrap();
         let Stmt::Block(v) = &f.body else { panic!() };
-        let Stmt::Return(Some(e)) = &v[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &v[0] else {
+            panic!()
+        };
         assert_eq!(e.to_string(), "((1 + (2 * 3)) == 7)");
     }
 

@@ -157,7 +157,7 @@ impl<'a> FnCompiler<'a> {
 
     fn call(
         &mut self,
-        dst: &Option<String>,
+        dst: &Option<ccal_clightx::Ident>,
         name: &str,
         args: &[Expr],
     ) -> Result<(), CompileError> {

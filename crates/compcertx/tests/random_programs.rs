@@ -38,7 +38,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     let leaf = prop_oneof![
         Just(Stmt::Skip),
         (0_usize..VARS.len(), arb_expr())
-            .prop_map(|(i, e)| Stmt::Assign(VARS[i].to_owned(), e)),
+            .prop_map(|(i, e)| Stmt::Assign(VARS[i].into(), e)),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
@@ -60,7 +60,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                     ),
                     Box::new(Stmt::Block(vec![
                         Stmt::Assign(
-                            "a".to_owned(),
+                            "a".into(),
                             Expr::Binop(
                                 BinOp::Sub,
                                 Box::new(Expr::var("a")),
@@ -81,12 +81,12 @@ proptest! {
     #[test]
     fn generated_programs_validate(body in arb_stmt(), ret in arb_expr()) {
         let f = CFunction {
-            name: "f".to_owned(),
-            params: vec!["x".to_owned()],
-            locals: vec!["a".to_owned(), "b".to_owned()],
+            name: "f".into(),
+            params: vec!["x".into()],
+            locals: vec!["a".into(), "b".into()],
             body: Stmt::Block(vec![
-                Stmt::Assign("a".to_owned(), Expr::Int(5)),
-                Stmt::Assign("b".to_owned(), Expr::Int(0)),
+                Stmt::Assign("a".into(), Expr::Int(5)),
+                Stmt::Assign("b".into(), Expr::Int(0)),
                 // Loop bodies may reassign `a`, so a generated loop can
                 // diverge; both semantics then exhaust their budgets, a
                 // matching failure class that validation accepts.

@@ -386,6 +386,15 @@ impl CheckOptions {
         self
     }
 
+    /// Enables or disables the compiled ClightX bytecode tier (see
+    /// [`crate::prefix::bytecode_effective`]); bit-identical verdicts
+    /// either way.
+    #[must_use]
+    pub fn with_bytecode(mut self, bytecode: bool) -> Self {
+        self.sim.bytecode = bytecode;
+        self
+    }
+
     /// Bounds the query-point snapshot trie (clamped to at least 1; the
     /// trie is cleared wholesale when full).
     #[must_use]

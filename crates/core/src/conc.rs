@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::abs::AbsState;
 use crate::env::EnvContext;
@@ -46,7 +47,10 @@ pub struct ConcurrentOutcome {
 }
 
 struct Player {
-    script: ThreadScript,
+    /// `Arc`-shared: scripts are immutable once the game starts, so
+    /// query-point snapshot forks ([`GameState::fork`]) bump a refcount
+    /// per player instead of deep-cloning every script.
+    script: Arc<ThreadScript>,
     next_call: usize,
     run: Option<Box<dyn PrimRun>>,
     rets: Vec<Val>,
@@ -60,7 +64,7 @@ impl Player {
             None => None,
         };
         Some(Player {
-            script: self.script.clone(),
+            script: Arc::clone(&self.script),
             next_call: self.next_call,
             run,
             rets: self.rets.clone(),
@@ -259,7 +263,7 @@ impl ConcurrentMachine {
             .focused
             .iter()
             .map(|pid| {
-                let script = programs.get(&pid).cloned().unwrap_or_default();
+                let script = Arc::new(programs.get(&pid).cloned().unwrap_or_default());
                 let done = script.is_empty();
                 (
                     pid,

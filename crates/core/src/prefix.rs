@@ -54,7 +54,7 @@
 //! [`ScriptScheduler`]: crate::strategy::ScriptScheduler
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::id::Pid;
@@ -122,6 +122,81 @@ fn warn_bad_deep_once(raw: &str) {
              non-negative integer; 0 disables query-point snapshot sharing)"
         );
     });
+}
+
+/// Whether the compiled ClightX bytecode tier is enabled by this process's
+/// environment. Same grammar and caching as [`prefix_share_enabled`], read
+/// from `CCAL_BYTECODE`: unset or any non-zero integer — compiled tier on
+/// (the default); `0` — interpret everything (the differential-debugging
+/// escape hatch). Checkers install a scoped override on top of this via
+/// [`BytecodeOverride`]; instantiation sites should consult
+/// [`bytecode_effective`], not this function.
+pub fn bytecode_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("CCAL_BYTECODE") {
+        Ok(v) => parse_share(&v).unwrap_or_else(|| {
+            warn_bad_bytecode_once(&v);
+            true
+        }),
+        Err(_) => true,
+    })
+}
+
+fn warn_bad_bytecode_once(raw: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "ccal: ignoring unparseable CCAL_BYTECODE={raw:?} (expected a \
+             non-negative integer; 0 disables the compiled ClightX tier)"
+        );
+    });
+}
+
+/// Scoped override of the bytecode tier: -1 = no override (fall back to
+/// [`bytecode_enabled`]), 0 = force interpreter, 1 = force compiled.
+/// Strategy closures are built long before any checker decides its
+/// options, so the tier must be read at *instantiation* time; the checkers
+/// install their [`crate::sim::SimOptions`] choice here for the duration
+/// of a check.
+fn bytecode_override() -> &'static AtomicI8 {
+    static OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+    &OVERRIDE
+}
+
+/// The bytecode-tier choice in effect right now: the innermost
+/// [`BytecodeOverride`] if one is live, else the `CCAL_BYTECODE`
+/// environment default. Strategy instantiation sites (notably
+/// `ccal_clightx::module_from_lowered`'s closures) consult this on every
+/// call, so one compiled module serves both tiers.
+pub fn bytecode_effective() -> bool {
+    match bytecode_override().load(Ordering::Relaxed) {
+        -1 => bytecode_enabled(),
+        0 => false,
+        _ => true,
+    }
+}
+
+/// RAII guard forcing the bytecode tier on or off process-wide until
+/// dropped. Overrides do not nest meaningfully — the guard restores the
+/// value it displaced, and concurrent checker runs with *different* tier
+/// choices would race (the benchmarks and differential tests that toggle
+/// the tier run checks serially).
+pub struct BytecodeOverride {
+    prev: i8,
+}
+
+impl BytecodeOverride {
+    /// Forces the tier to `on` until the guard drops.
+    pub fn force(on: bool) -> Self {
+        let prev = bytecode_override().swap(i8::from(on), Ordering::Relaxed);
+        Self { prev }
+    }
+}
+
+impl Drop for BytecodeOverride {
+    fn drop(&mut self) {
+        bytecode_override().store(self.prev, Ordering::Relaxed);
+    }
 }
 
 /// Hands out a fresh family id for a [`crate::contexts::ContextGen`]
@@ -379,7 +454,12 @@ fn deep_counter() -> &'static AtomicU64 {
     &DEEP
 }
 
-/// Resets the process-wide lower-run work accounting (both counters).
+fn prim_steps_counter() -> &'static AtomicU64 {
+    static PRIM: AtomicU64 = AtomicU64::new(0);
+    &PRIM
+}
+
+/// Resets the process-wide lower-run work accounting (all counters).
 /// Benchmarks bracket a checker run with [`steps_reset`] / [`steps_total`]
 /// to measure executed atom-steps; the counters are only meaningful when
 /// the bracketed run is not concurrent with other checker runs.
@@ -387,6 +467,7 @@ pub fn steps_reset() {
     steps_counter().store(0, Ordering::Relaxed);
     shared_counter().store(0, Ordering::Relaxed);
     deep_counter().store(0, Ordering::Relaxed);
+    prim_steps_counter().store(0, Ordering::Relaxed);
 }
 
 /// Total lower-machine atom-steps executed since the last [`steps_reset`].
@@ -422,6 +503,22 @@ pub fn record_deep() {
 /// Number of lower runs resumed from a snapshot since [`steps_reset`].
 pub fn deep_total() -> u64 {
     deep_counter().load(Ordering::Relaxed)
+}
+
+/// Records `n` intra-primitive execution steps — interpreter work items
+/// popped or VM instructions retired *inside* a ClightX primitive body.
+/// Distinct from [`record_steps`]: the machine-level counter charges one
+/// unit per query-point resume plus log growth, identical for both
+/// execution tiers, whereas this counter measures the per-statement work
+/// the bytecode tier actually eliminates. The B6 benchmark gates on the
+/// ratio of this counter between tiers.
+pub fn record_prim_steps(n: u64) {
+    prim_steps_counter().fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total intra-primitive execution steps since the last [`steps_reset`].
+pub fn prim_steps_total() -> u64 {
+    prim_steps_counter().load(Ordering::Relaxed)
 }
 
 /// A queue-order permutation for [`crate::par::run_cases_ordered`] that

@@ -372,6 +372,18 @@ pub struct SimOptions {
     /// [`crate::prefix::prefix_deep_enabled`] (on unless
     /// `CCAL_PREFIX_DEEP=0`).
     pub deep_share: bool,
+    /// Run ClightX primitives on the compiled bytecode tier
+    /// ([`crate::prefix::bytecode_effective`]): modules are slot-resolved
+    /// and flattened once at lower time, and each instantiation executes
+    /// the flat code instead of walking the statement tree. The tier is
+    /// bit-identical to the interpreter — same events, queries, return
+    /// values, and error strings — so this is purely a performance knob.
+    /// Defaults to [`crate::prefix::bytecode_enabled`] (on unless
+    /// `CCAL_BYTECODE=0`). The checker installs the choice process-wide
+    /// for the duration of the check when it differs from the
+    /// environment default, so concurrent checks with *conflicting*
+    /// explicit tiers must be serialized by the caller.
+    pub bytecode: bool,
     /// Capacity cap on the query-point snapshot trie, with the same
     /// clear-on-full eviction as `upper_cache_cap`: snapshots only save
     /// work, so eviction costs re-execution, never correctness.
@@ -400,6 +412,7 @@ impl Default for SimOptions {
             por: crate::por::por_enabled(),
             prefix_share: crate::prefix::prefix_share_enabled(),
             deep_share: crate::prefix::prefix_deep_enabled(),
+            bytecode: crate::prefix::bytecode_enabled(),
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
             upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
         }
@@ -443,6 +456,13 @@ impl SimOptions {
         self
     }
 
+    /// Enables or disables the compiled ClightX bytecode tier.
+    #[must_use]
+    pub fn with_bytecode(mut self, bytecode: bool) -> Self {
+        self.bytecode = bytecode;
+        self
+    }
+
     /// Caps the query-point snapshot trie (minimum 1 snapshot).
     #[must_use]
     pub fn with_snapshot_cap(mut self, cap: usize) -> Self {
@@ -481,6 +501,15 @@ pub fn check_prim_refinement(
     arg_vectors: &[Vec<Val>],
     opts: &SimOptions,
 ) -> Result<SimEvidence, Box<SimFailure>> {
+    // Install the execution-tier choice for the duration of the check.
+    // Strategy closures read the tier at instantiation time
+    // ([`crate::prefix::bytecode_effective`]), so a scoped override is the
+    // only way an option chosen *after* layer construction can reach them.
+    // Installed only when it differs from the environment default, so
+    // checks under default options never perturb an outer override (e.g. a
+    // differential harness bracketing a whole checker run).
+    let _tier = (opts.bytecode != crate::prefix::bytecode_enabled())
+        .then(|| crate::prefix::BytecodeOverride::force(opts.bytecode));
     let fail = |case: String, lower_log: Log, upper_log: Log, reason: String| {
         Box::new(SimFailure {
             lower: format!("{}::{}", lower_iface.name, lower_prim),

@@ -51,6 +51,12 @@ pub struct ReplayOptions {
     /// Deep prefix-sharing via query-point snapshots (always off for
     /// replay; decoded tolerantly like `prefix_share`).
     pub deep_share: bool,
+    /// ClightX execution tier at capture time: `true` if primitive bodies
+    /// ran on the compiled bytecode VM, `false` for the tree-walking
+    /// interpreter. Informational — the tiers are bit-identical, so a
+    /// replay validates on either — and decoded tolerantly (artifacts
+    /// written before the compile tier existed read as `false`).
+    pub bytecode: bool,
 }
 
 /// One serialized failure witness.
@@ -88,6 +94,7 @@ impl TraceArtifact {
                     ("por", Json::Bool(self.options.por)),
                     ("prefix_share", Json::Bool(self.options.prefix_share)),
                     ("deep_share", Json::Bool(self.options.deep_share)),
+                    ("bytecode", Json::Bool(self.options.bytecode)),
                 ]),
             ),
             ("context", self.context.encode()),
@@ -168,6 +175,9 @@ impl TraceArtifact {
                 .get("deep_share")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            // Tolerant like `prefix_share`: predates nothing an old
+            // artifact depends on — both tiers validate identically.
+            bytecode: oj.get("bytecode").and_then(Json::as_bool).unwrap_or(false),
         };
         let context = ScriptedContext::decode(
             j.get("context")
@@ -278,6 +288,7 @@ mod tests {
                 por: false,
                 prefix_share: false,
                 deep_share: false,
+                bytecode: false,
             },
             context: ScriptedContext {
                 domain: vec![Pid(0), Pid(1)],

@@ -327,6 +327,9 @@ pub fn investigate(fx: &Fixture, cfg: &RunConfig) -> Result<TraceArtifact, Strin
             por: false,
             prefix_share: false,
             deep_share: false,
+            // Record the tier the investigation actually ran under, so
+            // the artifact is self-describing about its provenance.
+            bytecode: ccal_core::prefix::bytecode_effective(),
         },
         context: outcome.context,
         expected: ExpectedFailure {

@@ -63,6 +63,11 @@ fn golden_artifacts_record_the_replay_fingerprint() {
             "{}: options fingerprint does not record `prefix_share`",
             f.display()
         );
+        assert!(
+            on_disk.contains("\"bytecode\""),
+            "{}: options fingerprint does not record the execution tier",
+            f.display()
+        );
         let a = TraceArtifact::load(&f).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(a.options.workers, 1, "{}: replay must be serial", f.display());
         assert!(!a.options.dedup, "{}: replay must not dedup", f.display());

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
-# parallel-vs-serial, POR, and prefix-sharing differential suites (the
-# latter two both with the optimization on and under their CCAL_POR=0 /
-# CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 escape hatches), the engine
-# regression tests, the full workspace tests, and criterion-free benchmark
-# smoke runs including the B5 (whole-prefix) and B5d (query-point snapshot)
-# step-ratio gates. Everything here works without network access —
-# proptest/criterion resolve to the in-repo shim crates.
+# parallel-vs-serial, POR, prefix-sharing, and bytecode-tier differential
+# suites (each optimization both on and under its CCAL_POR=0 /
+# CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 / CCAL_BYTECODE=0 escape
+# hatch), the engine regression tests, the full workspace tests (on both
+# execution tiers), and criterion-free benchmark smoke runs including the
+# B5 (whole-prefix), B5d (query-point snapshot), and B6 (compiled ClightX
+# bytecode VM) step-ratio gates. Everything here works without network
+# access — proptest/criterion resolve to the in-repo shim crates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,11 +38,23 @@ CCAL_PREFIX_DEEP=0 cargo test -q --test prefix_differential
 echo "== differential: fork-vs-fresh snapshot resume (all snapshots x agreeing contexts) =="
 cargo test -q --test fork_differential
 
+echo "== differential: bytecode VM vs interpreter (random programs, proptest) =="
+cargo test -q -p ccal-clightx --test bytecode_differential
+
+echo "== differential: bytecode VM vs interpreter (all five checkers, ticket stack) =="
+cargo test -q -p ccal-objects --test bytecode_differential
+
+echo "== differential: bytecode VM vs interpreter (forensics captures + artifacts) =="
+cargo test -q -p ccal-forensics --test bytecode_differential
+
 echo "== regression: grid sampling, space_size, workers, cache cap =="
 cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== workspace tests on the interpreter tier (escape hatch: CCAL_BYTECODE=0) =="
+CCAL_BYTECODE=0 cargo test --workspace -q
 
 echo "== forensics: shrink/replay selftest (all five checkers) =="
 cargo run -q --release -p ccal-forensics --bin ccal-replay -- --selftest
@@ -54,5 +67,8 @@ cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- -
 
 echo "== bench gate (no criterion): prefix_sharing --quick (asserts B5 share/off <= 0.5 and B5d deep/share <= 0.7 at L=5; writes BENCH_5.json) =="
 cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quick
+
+echo "== bench gate (no criterion): bytecode_vm --quick (asserts B6 vm/interp prim-steps <= 0.6 and exact atom-step tier equality at L=5; writes BENCH_6.json) =="
+cargo bench -p ccal-bench --no-default-features --bench bytecode_vm -- --quick
 
 echo "verify: all green"
