@@ -70,7 +70,10 @@ fn main() {
 /// Renders the machine-readable benchmark record. Hand-rolled JSON — the
 /// workspace is offline and the fields are flat numbers.
 fn render_json(rows: &[ccal_bench::scaling::BytecodeRow]) -> String {
-    let mut out = String::from("{\n  \"b6\": [\n");
+    // Recorded so step-ratio trajectories can be compared across hosts:
+    // wall-clock sanity numbers depend on the machine's parallelism.
+    let hw = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut out = format!("{{\n  \"hardware_threads\": {hw},\n  \"b6\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,

@@ -98,7 +98,10 @@ fn render_json(
     b2: &ccal_bench::scaling::PorRow,
     b2w: &ccal_bench::scaling::PorRow,
 ) -> String {
-    let mut out = String::from("{\n  \"b5\": [\n");
+    // Recorded so step-ratio trajectories can be compared across hosts:
+    // the worker-scaling rows depend on the machine's parallelism.
+    let hw = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut out = format!("{{\n  \"hardware_threads\": {hw},\n  \"b5\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,

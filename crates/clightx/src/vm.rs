@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn division_by_zero_matches_interpreter_error() {
         let err = run_vm("int f(int x) { return 1 / x; }", "f", &[Val::Int(0)]).unwrap_err();
-        assert_eq!(err.to_string().contains("division by zero"), true);
+        assert!(err.to_string().contains("division by zero"));
     }
 
     #[test]

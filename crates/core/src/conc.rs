@@ -150,6 +150,16 @@ impl fmt::Debug for GameState {
     }
 }
 
+/// A whole game state is directly a query-point snapshot — the adapter the
+/// game-based checkers (liveness, linearizability, race freedom) hand to
+/// the exploration kernel, replacing the per-checker newtype wrappers they
+/// used to carry.
+impl crate::prefix::ForkSnapshot for GameState {
+    fn fork(&self) -> Option<Self> {
+        GameState::fork(self)
+    }
+}
+
 /// The machine for a focused set `A` over an interface `L`, with an
 /// environment context for the scheduler and all non-focused participants.
 pub struct ConcurrentMachine {

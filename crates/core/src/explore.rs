@@ -1,0 +1,720 @@
+//! The unified exploration kernel behind every bounded checker.
+//!
+//! All five bounded checkers — strategy simulation ([`crate::sim`]),
+//! liveness, linearizability, race freedom and sequence refinement
+//! (`ccal-verifier`) — explore the same shape: a finite grid of
+//! `(environment context × sub-case)` cells, each a deterministic function
+//! of the schedule prefix the run consumes, folded in index order down to
+//! a verdict and an index-least first failure. Before this module each
+//! checker carried its own copy of the machinery around that loop:
+//! schedule-prefix memoization, query-point snapshot forking, sleep-set
+//! partial-order pruning, work-stealing dispatch, forensics capture, and
+//! the slot fold. [`Kernel`] owns all of it once:
+//!
+//! * **Prefix memoization** ([`crate::prefix::PrefixMemo`]): one executed
+//!   lower run per distinct consumed schedule prefix
+//!   ([`Kernel::run_shared`]).
+//! * **Query-point snapshots** ([`crate::prefix::SnapshotTrie`]): forked
+//!   mid-run machine states at every environment cut point, resumed for
+//!   contexts that diverge later ([`Kernel::resume_deepest`],
+//!   [`Kernel::snapshot`]).
+//! * **POR pruning**: contexts marked trace-equivalent by the generator
+//!   are skipped and counted without invoking the client
+//!   ([`Kernel::explore`]).
+//! * **Work-stealing dispatch** ([`crate::par::run_cases_ordered`]) in
+//!   subtree claim order ([`crate::prefix::subtree_case_order`]), with the
+//!   in-order fold that makes parallel runs bit-identical to serial ones.
+//! * **Forensics capture** ([`crate::forensics`]): failing cases are
+//!   recorded with their grid index, context index, witness log and reason
+//!   whenever a capture scope is active.
+//!
+//! A checker plugs in by choosing a snapshot type `S` (implementing
+//! [`crate::prefix::ForkSnapshot`] — [`RunSnap`] for single-machine
+//! checkers, [`crate::conc::GameState`] for game-based ones, or a custom
+//! enum like the simulation checker's phase-tagged snapshot), a memoized
+//! outcome type `T`, and a per-case classification closure returning
+//! [`Case`]. New engines (weak-memory exploration, new certified objects,
+//! service-mode re-certification) get sharing, pruning, parallelism and
+//! capture for free.
+//!
+//! The `CCAL_KERNEL=0` escape hatch kept the pre-kernel per-checker paths
+//! alive while the port was validated differentially
+//! (`tests/kernel_differential.rs`); those paths were deleted once the
+//! differential passed — see [`kernel_enabled`].
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::conc::{ConcurrentMachine, ConcurrentOutcome, GameState, ThreadScript};
+use crate::env::EnvContext;
+use crate::id::PidSet;
+use crate::layer::{LayerInterface, PrimRun};
+use crate::log::Log;
+use crate::machine::{LayerMachine, MachineError};
+use crate::prefix::{ForkSnapshot, PrefixMemo, ScheduleKey, SnapshotTrie};
+
+/// Whether the unified exploration kernel is in use — always `true`.
+///
+/// `CCAL_KERNEL=0` was the escape hatch that kept the pre-kernel checker
+/// paths alive while the port was validated by
+/// `tests/kernel_differential.rs`; those paths were deleted once the
+/// differential passed, so the flag no longer selects anything. Setting it
+/// to `0` warns once (so stale CI configurations fail loudly instead of
+/// silently diverging) and is otherwise ignored.
+pub fn kernel_enabled() -> bool {
+    if !crate::envflag::bool_flag("CCAL_KERNEL", true) {
+        static WARNED: OnceLock<()> = OnceLock::new();
+        WARNED.get_or_init(|| {
+            eprintln!(
+                "ccal: CCAL_KERNEL=0 is obsolete — the pre-kernel checker paths \
+                 were removed once the kernel differential passed; the unified \
+                 exploration kernel is always used"
+            );
+        });
+    }
+    true
+}
+
+/// The exploration knobs every checker shares. Mirrors the sharing-related
+/// subset of [`crate::sim::SimOptions`]; the verifier checkers build it
+/// from their `_tuned` parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Worker threads exploring the case grid (1 = serial).
+    pub workers: usize,
+    /// Skip contexts marked trace-equivalent by the partial-order
+    /// reduction.
+    pub por: bool,
+    /// Share lower runs across contexts with a common consumed schedule
+    /// prefix ([`crate::prefix::PrefixMemo`]).
+    pub prefix_share: bool,
+    /// Additionally fork mid-run snapshots at every environment query
+    /// point ([`crate::prefix::SnapshotTrie`]); effective only when
+    /// `prefix_share` is on.
+    pub deep_share: bool,
+    /// Capacity cap on the query-point snapshot trie (deepest-first
+    /// eviction, see [`crate::prefix::SnapshotTrie`]).
+    pub snapshot_cap: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            workers: crate::par::default_workers(),
+            por: crate::por::por_enabled(),
+            prefix_share: crate::prefix::prefix_share_enabled(),
+            deep_share: crate::prefix::prefix_deep_enabled(),
+            snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// The options the verifier checkers' `_tuned` variants expose:
+    /// explicit workers/POR/sharing, default snapshot cap.
+    pub fn tuned(workers: usize, por: bool, prefix_share: bool, deep_share: bool) -> Self {
+        Self {
+            workers,
+            por,
+            prefix_share,
+            deep_share,
+            snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
+        }
+    }
+}
+
+/// A failing case, carrying both the checker's error and the forensics
+/// payload ([`crate::forensics::FailingCase`] minus the indices, which the
+/// kernel fills in from the grid position).
+#[derive(Debug)]
+pub struct Failed<E> {
+    /// The checker-specific error returned to the caller.
+    pub error: E,
+    /// The concrete lower/implementation log at the failure (the witness).
+    pub log: Log,
+    /// Why the case failed.
+    pub reason: String,
+    /// Human-readable case detail (context/args/script indices).
+    pub detail: String,
+}
+
+/// One explored case's classification, folded in index order by
+/// [`Kernel::explore`].
+#[derive(Debug)]
+pub enum Case<D, E> {
+    /// The case passed; `D` is whatever the checker folds over (probe
+    /// logs, step counts, `()`).
+    Checked(D),
+    /// The context was invalid (rely violation / unfair schedule).
+    Skipped,
+    /// The context was pruned by the partial-order reduction.
+    Reduced,
+    /// The case failed; exploration short-circuits at the index-least
+    /// failure.
+    Failed(Box<Failed<E>>),
+}
+
+impl<D, E> Case<D, E> {
+    /// Builds a failing case with its forensics payload.
+    pub fn failed(error: E, log: Log, reason: String, detail: String) -> Self {
+        Case::Failed(Box::new(Failed {
+            error,
+            log,
+            reason,
+            detail,
+        }))
+    }
+}
+
+/// The fold of an explored grid: the case accounting every checker's
+/// verdict carries, the per-case data of the checked cases in index
+/// order, and the index-least failure (with everything after it
+/// discarded, exactly as the per-checker folds did).
+#[derive(Debug)]
+pub struct Explored<D, E> {
+    /// Cases executed and passed.
+    pub cases_checked: usize,
+    /// Cases skipped (invalid contexts).
+    pub cases_skipped: usize,
+    /// Cases pruned by the partial-order reduction.
+    pub cases_reduced: usize,
+    /// The checked cases' data, in case-index order.
+    pub checked: Vec<D>,
+    /// The index-least failure, if any.
+    pub failure: Option<E>,
+}
+
+/// The unified exploration kernel: one [`PrefixMemo`] + [`SnapshotTrie`]
+/// pair plus the grid-dispatch loop, parameterized over a fork-able
+/// snapshot type `S` and a memoized outcome type `T`. See the module docs
+/// for the division of labor between the kernel and its clients.
+pub struct Kernel<S, T> {
+    memo: PrefixMemo<T>,
+    snapshots: SnapshotTrie<S>,
+    workers: usize,
+    por: bool,
+    share: bool,
+    deep: bool,
+}
+
+impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
+    /// Creates a kernel for one checker invocation.
+    pub fn new(opts: &ExploreOptions) -> Self {
+        let _ = kernel_enabled();
+        let share = opts.prefix_share;
+        Self {
+            memo: PrefixMemo::new(),
+            snapshots: SnapshotTrie::new(opts.snapshot_cap),
+            workers: opts.workers,
+            por: opts.por,
+            share,
+            deep: share && opts.deep_share,
+        }
+    }
+
+    /// Whether whole-outcome prefix sharing is on.
+    pub fn share(&self) -> bool {
+        self.share
+    }
+
+    /// Whether query-point snapshot sharing is on (implies [`share`]).
+    ///
+    /// [`share`]: Kernel::share
+    pub fn deep(&self) -> bool {
+        self.deep
+    }
+
+    /// The context's schedule key, gated on prefix sharing: `None` when
+    /// sharing is off or the context is hand-built (keyless).
+    pub fn share_key<'e>(&self, env: &'e EnvContext) -> Option<&'e ScheduleKey> {
+        if self.share {
+            env.schedule_key()
+        } else {
+            None
+        }
+    }
+
+    /// The context's schedule key, gated on deep (snapshot) sharing.
+    pub fn deep_key<'e>(&self, env: &'e EnvContext) -> Option<&'e ScheduleKey> {
+        if self.deep {
+            env.schedule_key()
+        } else {
+            None
+        }
+    }
+
+    /// Looks up the memoized outcome for any consumed prefix of `key`'s
+    /// script, recording a shared (memo-answered) run on a hit.
+    pub fn cached(&self, key: &ScheduleKey, inner: usize) -> Option<T> {
+        let hit = self.memo.lookup(key, inner);
+        if hit.is_some() {
+            crate::prefix::record_shared();
+        }
+        hit
+    }
+
+    /// Memoizes an executed run's outcome at its consumed prefix depth.
+    pub fn memoize(&self, key: &ScheduleKey, inner: usize, consumed: usize, outcome: T) {
+        self.memo.insert(key, inner, consumed, outcome);
+    }
+
+    /// The standard lower-run composition every checker uses: answer from
+    /// the memo when the context's consumed prefix is cached (recording a
+    /// shared run), otherwise execute via `exec` — which returns the
+    /// outcome plus the consumed schedule-prefix length — and memoize.
+    /// With sharing off (or a keyless context) this is just `exec`.
+    pub fn run_shared(&self, env: &EnvContext, inner: usize, exec: impl FnOnce() -> (T, usize)) -> T {
+        match self.share_key(env) {
+            Some(k) => {
+                if let Some(hit) = self.cached(k, inner) {
+                    return hit;
+                }
+                let (outcome, consumed) = exec();
+                self.memoize(k, inner, consumed, outcome.clone());
+                outcome
+            }
+            None => exec().0,
+        }
+    }
+
+    /// Forks the deepest stored snapshot applying to `key`, recording a
+    /// deep (snapshot-resumed) run on a hit. Checkers whose snapshot type
+    /// distinguishes phases with different accounting (the simulation
+    /// checker) should use [`Kernel::lookup_snapshot`] and record
+    /// themselves.
+    pub fn resume_deepest(&self, key: &ScheduleKey, inner: usize) -> Option<(usize, S)> {
+        let hit = self.snapshots.lookup_deepest(key, inner);
+        if hit.is_some() {
+            crate::prefix::record_deep();
+        }
+        hit
+    }
+
+    /// [`Kernel::resume_deepest`] without the accounting.
+    pub fn lookup_snapshot(&self, key: &ScheduleKey, inner: usize) -> Option<(usize, S)> {
+        self.snapshots.lookup_deepest(key, inner)
+    }
+
+    /// Stores a query-point snapshot at the consumed prefix depth (first
+    /// insert wins; `make` only runs when the cut point is vacant).
+    pub fn snapshot(
+        &self,
+        key: &ScheduleKey,
+        inner: usize,
+        consumed: usize,
+        make: impl FnOnce() -> Option<S>,
+    ) {
+        self.snapshots.insert_with(key, inner, consumed, make);
+    }
+
+    /// The exploration loop: dispatches the `(context × sub-case)` grid
+    /// onto the work-stealing queue (in subtree claim order when sharing
+    /// is on and several workers race), prunes POR-equivalent contexts,
+    /// records failing cases into an active forensics capture scope, and
+    /// folds the slots in index order — so the verdict, the accounting and
+    /// the index-least first failure are bit-identical to a serial,
+    /// unshared exploration.
+    ///
+    /// `run` is called with `(context index, sub-case index)`; the flat
+    /// grid index is `ci * ninner + inner`. `checker` names the client in
+    /// forensics captures.
+    pub fn explore<D, E>(
+        &self,
+        checker: &'static str,
+        contexts: &[EnvContext],
+        ninner: usize,
+        run: impl Fn(usize, usize) -> Case<D, E> + Sync,
+    ) -> Explored<D, E>
+    where
+        D: Send,
+        E: Send,
+    {
+        let total = contexts.len() * ninner;
+        let run_case = |idx: usize| -> Case<D, E> {
+            let (ci, inner) = (idx / ninner, idx % ninner);
+            let env = &contexts[ci];
+            if self.por && env.is_por_equivalent() {
+                // A lower-indexed trace-equivalent context covers this case.
+                return Case::Reduced;
+            }
+            let outcome = run(ci, inner);
+            if crate::forensics::capturing() {
+                if let Case::Failed(f) = &outcome {
+                    crate::forensics::record(crate::forensics::FailingCase {
+                        checker,
+                        case_index: idx,
+                        ctx_index: ci,
+                        detail: f.detail.clone(),
+                        log: f.log.clone(),
+                        reason: f.reason.clone(),
+                    });
+                }
+            }
+            outcome
+        };
+        // With sharing on and several workers, claim the grid in
+        // digit-reversed (subtree) order so each worker's chunk shares
+        // long schedule prefixes — the memo then hits within a chunk
+        // instead of racing across chunks.
+        let order = if self.share && self.workers > 1 {
+            let keys: Vec<Option<&ScheduleKey>> =
+                contexts.iter().map(EnvContext::schedule_key).collect();
+            crate::prefix::subtree_case_order(&keys, ninner)
+        } else {
+            None
+        };
+        let slots = crate::par::run_cases_ordered(total, self.workers, order.as_deref(), run_case, |c| {
+            matches!(c, Case::Failed(_))
+        });
+        let mut out = Explored {
+            cases_checked: 0,
+            cases_skipped: 0,
+            cases_reduced: 0,
+            checked: Vec::new(),
+            failure: None,
+        };
+        for slot in slots {
+            match slot {
+                None => break,
+                Some(Case::Skipped) => out.cases_skipped += 1,
+                Some(Case::Reduced) => out.cases_reduced += 1,
+                Some(Case::Checked(d)) => {
+                    out.checked.push(d);
+                    out.cases_checked += 1;
+                }
+                Some(Case::Failed(f)) => {
+                    out.failure = Some(f.error);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The memoized outcome of a traced concurrent (game) run — what the
+/// linearizability and race-freedom checkers fold over.
+pub type GameRun = (Result<ConcurrentOutcome, MachineError>, Log);
+
+impl Kernel<GameState, GameRun> {
+    /// The shared lower half of the game-based checkers: one traced
+    /// concurrent run per distinct consumed schedule prefix, snapshotting
+    /// the whole [`GameState`] before every scheduler decision and forking
+    /// the deepest prefix-agreeing ancestor for contexts that diverge
+    /// later. Work accounting counts only the executed suffix.
+    pub fn run_game(
+        &self,
+        iface: &LayerInterface,
+        focused: &PidSet,
+        programs: &BTreeMap<crate::id::Pid, ThreadScript>,
+        env: &EnvContext,
+        fuel: u64,
+    ) -> GameRun {
+        self.run_shared(env, 0, || {
+            let key = self.deep_key(env);
+            let machine = ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone())
+                .with_fuel(fuel);
+            let (res, log, pre) = match key {
+                Some(k) => {
+                    let mut hook = |st: &GameState| {
+                        self.snapshot(k, 0, st.sched_consumed(), || st.fork());
+                    };
+                    match self.resume_deepest(k, 0) {
+                        Some((_, st)) => {
+                            // Fork the deepest snapshotted ancestor and
+                            // replay only the remaining turns, counting
+                            // only them.
+                            let pre = st.log_len() as u64;
+                            let (res, log) = machine.run_traced_from(st, &mut hook);
+                            (res, log, pre)
+                        }
+                        None => {
+                            let (res, log) = machine.run_traced_with_snapshots(programs, &mut hook);
+                            (res, log, 0)
+                        }
+                    }
+                }
+                None => {
+                    let (res, log) = machine.run_traced(programs);
+                    (res, log, 0)
+                }
+            };
+            crate::prefix::record_steps(log.len() as u64 - pre);
+            let consumed = log.iter().filter(|e| e.is_sched()).count();
+            ((res, log), consumed)
+        })
+    }
+}
+
+/// A mid-call machine snapshot: the machine plus a fork of the in-flight
+/// primitive run, with checker-specific `extra` state (the liveness
+/// checker needs none; the sequence-refinement checker carries the script
+/// position and the completed return values). Forking forks the machine
+/// (Arc/COW-backed) and the run ([`PrimRun::fork_run`], `None` when the
+/// run does not support forking — the lookup then falls back shallower).
+pub struct RunSnap<X> {
+    /// The machine at the query point.
+    pub machine: LayerMachine,
+    /// The in-flight primitive run, paused at an environment query.
+    pub run: Box<dyn PrimRun>,
+    /// Checker-specific resumption state.
+    pub extra: X,
+}
+
+impl<X: Clone + Send> ForkSnapshot for RunSnap<X> {
+    fn fork(&self) -> Option<Self> {
+        Some(RunSnap {
+            machine: self.machine.fork(),
+            run: self.run.fork_run()?,
+            extra: self.extra.clone(),
+        })
+    }
+}
+
+/// A bounded memo table with **deepest-first eviction**: entries carry a
+/// depth (for the simulation checker's upper-run cache, the length of the
+/// replayed abstract event sequence), and when an insert would exceed the
+/// cap the deepest entries — the most specific, least reusable ones — are
+/// dropped first, *including the incoming entry itself* when it is the
+/// deepest. Shallow entries, which many later cases re-derive, survive
+/// squeezes instead of being thrown away by a whole-table clear. Eviction
+/// never changes verdicts: a miss re-runs a deterministic computation.
+///
+/// Ties on depth evict the newest entry first (first insert wins), so a
+/// serial run's hit/evict sequence is deterministic. Evictions are batched
+/// (about an eighth of the cap per scan, at least one) to amortize the
+/// victim scan on saturated tables.
+pub struct BoundedCache<K, V> {
+    map: Mutex<CacheStore<K, V>>,
+    cap: usize,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct CacheStore<K, V> {
+    entries: HashMap<K, (usize, u64, V)>,
+    next_seq: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
+    /// Creates an empty cache holding at most `cap` entries (clamped to at
+    /// least 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: Mutex::new(CacheStore {
+                entries: HashMap::new(),
+                next_seq: 0,
+            }),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached value, counting a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hit = store.entries.get(key).map(|(_, _, v)| v.clone());
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts `value` at `depth` (first insert wins). When the table is
+    /// full, the deepest entries are evicted first; an incoming entry at
+    /// least as deep as every resident is rejected instead (counted as an
+    /// eviction).
+    pub fn insert(&self, key: K, depth: usize, value: V) {
+        let mut store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if store.entries.contains_key(&key) {
+            return;
+        }
+        if store.entries.len() >= self.cap {
+            // The sequence number the incoming entry would be stored
+            // under — strictly newer than every resident's.
+            let incoming_seq = store.next_seq + 1;
+            let mut cand: Vec<(usize, u64, Option<K>)> = store
+                .entries
+                .iter()
+                .map(|(k, (d, s, _))| (*d, *s, Some(k.clone())))
+                .collect();
+            cand.push((depth, incoming_seq, None));
+            // Deepest first; newest first among equal depths.
+            cand.sort_by_key(|c| std::cmp::Reverse((c.0, c.1)));
+            let batch = (self.cap / 8).max(1);
+            for (_, _, victim) in cand.into_iter().take(batch) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                match victim {
+                    Some(k) => {
+                        store.entries.remove(&k);
+                    }
+                    // The incoming entry is the victim: drop it and stop
+                    // evicting residents — the table no longer overflows.
+                    None => return,
+                }
+            }
+        }
+        store.next_seq += 1;
+        let seq = store.next_seq;
+        store.entries.insert(key, (depth, seq, value));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped (or incoming inserts rejected) by the deepest-first
+    /// eviction since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl<K, V> std::fmt::Debug for BoundedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedCache")
+            .field("cap", &self.cap)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contexts::ContextGen;
+    use crate::id::Pid;
+
+    #[test]
+    fn kernel_is_always_enabled_and_the_hatch_is_recognized() {
+        assert!(kernel_enabled());
+    }
+
+    #[test]
+    fn bounded_cache_hits_and_caps() {
+        let cache: BoundedCache<&'static str, i32> = BoundedCache::new(2);
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 20);
+        assert_eq!(cache.get(&"a"), Some(10));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.get(&"missing"), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_deepest_first_and_rejects_deeper_incoming() {
+        let cache: BoundedCache<&'static str, i32> = BoundedCache::new(1);
+        cache.insert("shallow", 1, 10);
+        // Deeper incoming entry is rejected; the shallow resident survives
+        // the squeeze (a full clear would have dropped it).
+        cache.insert("deep", 5, 50);
+        assert_eq!(cache.get(&"shallow"), Some(10));
+        assert_eq!(cache.get(&"deep"), None);
+        assert_eq!(cache.evictions(), 1);
+        // A *shallower* incoming entry displaces the deeper resident.
+        let cache2: BoundedCache<&'static str, i32> = BoundedCache::new(1);
+        cache2.insert("deep", 5, 50);
+        cache2.insert("shallow", 1, 10);
+        assert_eq!(cache2.get(&"shallow"), Some(10));
+        assert_eq!(cache2.get(&"deep"), None);
+        assert_eq!(cache2.evictions(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_first_insert_wins() {
+        let cache: BoundedCache<&'static str, i32> = BoundedCache::new(4);
+        cache.insert("k", 1, 1);
+        cache.insert("k", 1, 2);
+        assert_eq!(cache.get(&"k"), Some(1));
+    }
+
+    #[derive(Clone)]
+    struct NoSnap;
+    impl ForkSnapshot for NoSnap {
+        fn fork(&self) -> Option<Self> {
+            Some(NoSnap)
+        }
+    }
+
+    fn grid(len: usize) -> Vec<EnvContext> {
+        ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(len)
+            .contexts()
+    }
+
+    #[test]
+    fn explore_folds_in_index_order_and_short_circuits() {
+        let contexts = grid(2);
+        let opts = ExploreOptions::tuned(1, false, false, false);
+        let kernel: Kernel<NoSnap, ()> = Kernel::new(&opts);
+        let explored = kernel.explore("test", &contexts, 1, |ci, _| {
+            if ci == 2 {
+                Case::failed(format!("boom at {ci}"), Log::new(), "boom".into(), format!("context #{ci}"))
+            } else {
+                Case::Checked(ci)
+            }
+        });
+        assert_eq!(explored.cases_checked, 2);
+        assert_eq!(explored.checked, vec![0, 1]);
+        assert_eq!(explored.failure.as_deref(), Some("boom at 2"));
+    }
+
+    #[test]
+    fn explore_is_bit_identical_across_workers() {
+        let contexts = grid(3);
+        let run = |ci: usize, _inner: usize| -> Case<usize, String> {
+            if ci == 5 {
+                Case::failed("fail".to_owned(), Log::new(), "r".into(), "d".into())
+            } else {
+                Case::Checked(ci)
+            }
+        };
+        let serial = Kernel::<NoSnap, ()>::new(&ExploreOptions::tuned(1, false, true, false))
+            .explore("test", &contexts, 1, run);
+        for workers in [2, 4] {
+            let par = Kernel::<NoSnap, ()>::new(&ExploreOptions::tuned(workers, false, true, false))
+                .explore("test", &contexts, 1, run);
+            assert_eq!(serial.cases_checked, par.cases_checked);
+            assert_eq!(serial.checked, par.checked);
+            assert_eq!(serial.failure, par.failure);
+        }
+    }
+
+    #[test]
+    fn run_shared_memoizes_per_consumed_prefix() {
+        let contexts = grid(2);
+        let opts = ExploreOptions::tuned(1, false, true, false);
+        let kernel: Kernel<NoSnap, u32> = Kernel::new(&opts);
+        let mut executions = 0_u32;
+        for env in &contexts {
+            // Every run "consumes" one slot, so contexts sharing slot 0
+            // share the outcome: 2 executions over a 4-context grid.
+            let _ = kernel.run_shared(env, 0, || {
+                executions += 1;
+                (executions, 1)
+            });
+        }
+        assert_eq!(executions, 2);
+    }
+}

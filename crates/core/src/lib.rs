@@ -75,7 +75,9 @@ pub mod calculus;
 pub mod conc;
 pub mod contexts;
 pub mod env;
+pub mod envflag;
 pub mod event;
+pub mod explore;
 pub mod forensics;
 pub mod id;
 pub mod layer;
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::event::{
         declare_prim_footprint, prim_footprint, Event, EventKind, Footprint, PrimFootprint,
     };
+    pub use crate::explore::{Case, ExploreOptions, Explored, Kernel, RunSnap};
     pub use crate::forensics::{CaptureScope, FailingCase, ShrinkNote};
     pub use crate::id::{Loc, Pid, PidSet, QId};
     pub use crate::layer::{LayerInterface, PrimCtx, PrimRun, PrimSpec, PrimStep, SubCall};

@@ -47,7 +47,7 @@ pub fn default_workers() -> usize {
     };
     match std::env::var("CCAL_WORKERS") {
         Ok(v) => parse_workers(&v).unwrap_or_else(|| {
-            warn_bad_workers_once(&v);
+            crate::envflag::warn_ignored("CCAL_WORKERS", &v, "0 means serial");
             fallback()
         }),
         Err(_) => fallback(),
@@ -55,23 +55,15 @@ pub fn default_workers() -> usize {
 }
 
 /// Parses a `CCAL_WORKERS` value: `Some(1)` for `0` (serial), `Some(n)`
-/// for a positive integer, `None` for anything unparseable.
+/// for a positive integer, `None` for anything unparseable. The boolean
+/// flags share this grammar via [`crate::envflag::bool_flag`]; workers is
+/// the one numeric flag, so only the warn-once path is shared.
 fn parse_workers(raw: &str) -> Option<usize> {
     match raw.trim().parse::<usize>() {
         Ok(0) => Some(1),
         Ok(n) => Some(n),
         Err(_) => None,
     }
-}
-
-fn warn_bad_workers_once(raw: &str) {
-    static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
-    WARNED.get_or_init(|| {
-        eprintln!(
-            "ccal: ignoring unparseable CCAL_WORKERS={raw:?} (expected a \
-             non-negative integer; 0 means serial)"
-        );
-    });
 }
 
 /// Case indices handed out per `fetch_add` on the shared work queue.

@@ -33,7 +33,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::sync::OnceLock;
 
 use crate::event::EventKind;
 use crate::id::Pid;
@@ -41,43 +40,14 @@ use crate::strategy::Strategy;
 
 /// Whether partial-order reduction is enabled for this process.
 ///
-/// Controlled by the `CCAL_POR` environment variable, which accepts the
-/// same value grammar as `CCAL_WORKERS` ([`crate::par::default_workers`]):
-///
-/// * unset — the reduction is on (the default);
-/// * `0` — the reduction is off (the escape hatch for differential
-///   debugging);
-/// * any other non-negative integer — the reduction is on;
-/// * anything else — a warning is printed to stderr once per process and
-///   the variable is ignored (the reduction stays on).
-///
-/// The variable is read once and cached for the lifetime of the process.
+/// Controlled by the `CCAL_POR` environment variable with the shared
+/// `CCAL_*` grammar ([`crate::envflag`]): unset or any non-zero integer —
+/// the reduction is on (the default); `0` — the reduction is off (the
+/// escape hatch for differential debugging); garbage warns once and is
+/// ignored. The variable is read once and cached for the lifetime of the
+/// process.
 pub fn por_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| match std::env::var("CCAL_POR") {
-        Ok(v) => parse_por(&v).unwrap_or_else(|| {
-            warn_bad_por_once(&v);
-            true
-        }),
-        Err(_) => true,
-    })
-}
-
-/// Parses a `CCAL_POR` value with the `CCAL_WORKERS` grammar: `Some(false)`
-/// for `0`, `Some(true)` for any other non-negative integer, `None` for
-/// anything unparseable.
-fn parse_por(raw: &str) -> Option<bool> {
-    raw.trim().parse::<u64>().ok().map(|n| n != 0)
-}
-
-fn warn_bad_por_once(raw: &str) {
-    static WARNED: OnceLock<()> = OnceLock::new();
-    WARNED.get_or_init(|| {
-        eprintln!(
-            "ccal: ignoring unparseable CCAL_POR={raw:?} (expected a \
-             non-negative integer; 0 disables the reduction)"
-        );
-    });
+    crate::envflag::bool_flag("CCAL_POR", true)
 }
 
 /// The independence relation lifted from events to scheduler-domain pids.
@@ -311,19 +281,8 @@ mod tests {
         classes
     }
 
-    #[test]
-    fn parse_por_follows_the_workers_grammar() {
-        assert_eq!(parse_por("0"), Some(false));
-        assert_eq!(parse_por(" 0 "), Some(false));
-        assert_eq!(parse_por("1"), Some(true));
-        assert_eq!(parse_por(" 16\n"), Some(true));
-        // Garbage is rejected (the caller warns once and keeps the
-        // default) instead of silently enabling the reduction.
-        assert_eq!(parse_por("yes"), None);
-        assert_eq!(parse_por(""), None);
-        assert_eq!(parse_por("-1"), None);
-        assert_eq!(parse_por("1.5"), None);
-    }
+    // The CCAL_POR value grammar is the shared one — its unset/0/1/garbage
+    // behavior is covered by `crate::envflag::tests`.
 
     #[test]
     fn two_independent_letters_give_three_of_four_words() {

@@ -55,47 +55,19 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 
 use crate::id::Pid;
 
 /// Whether prefix-sharing is enabled for this process.
 ///
 /// Controlled by the `CCAL_PREFIX_SHARE` environment variable with the
-/// `CCAL_POR` grammar:
-///
-/// * unset — sharing is on (the default);
-/// * `0` — sharing is off (the escape hatch for differential debugging);
-/// * any other non-negative integer — sharing is on;
-/// * anything else — a warning is printed to stderr once per process and
-///   the variable is ignored (sharing stays on).
-///
-/// The variable is read once and cached for the lifetime of the process.
+/// shared `CCAL_*` grammar ([`crate::envflag`]): unset or any non-zero
+/// integer — sharing on (the default); `0` — sharing off (the escape hatch
+/// for differential debugging); garbage warns once and is ignored. The
+/// variable is read once and cached for the lifetime of the process.
 pub fn prefix_share_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| match std::env::var("CCAL_PREFIX_SHARE") {
-        Ok(v) => parse_share(&v).unwrap_or_else(|| {
-            warn_bad_share_once(&v);
-            true
-        }),
-        Err(_) => true,
-    })
-}
-
-/// Parses a `CCAL_PREFIX_SHARE` value: `Some(false)` for `0`, `Some(true)`
-/// for any other non-negative integer, `None` for anything unparseable.
-fn parse_share(raw: &str) -> Option<bool> {
-    raw.trim().parse::<u64>().ok().map(|n| n != 0)
-}
-
-fn warn_bad_share_once(raw: &str) {
-    static WARNED: OnceLock<()> = OnceLock::new();
-    WARNED.get_or_init(|| {
-        eprintln!(
-            "ccal: ignoring unparseable CCAL_PREFIX_SHARE={raw:?} (expected a \
-             non-negative integer; 0 disables prefix sharing)"
-        );
-    });
+    crate::envflag::bool_flag("CCAL_PREFIX_SHARE", true)
 }
 
 /// Whether query-point (deep) snapshot sharing is enabled for this
@@ -104,24 +76,7 @@ fn warn_bad_share_once(raw: &str) {
 /// prefix sharing: checkers only consult the snapshot trie when both are
 /// on.
 pub fn prefix_deep_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| match std::env::var("CCAL_PREFIX_DEEP") {
-        Ok(v) => parse_share(&v).unwrap_or_else(|| {
-            warn_bad_deep_once(&v);
-            true
-        }),
-        Err(_) => true,
-    })
-}
-
-fn warn_bad_deep_once(raw: &str) {
-    static WARNED: OnceLock<()> = OnceLock::new();
-    WARNED.get_or_init(|| {
-        eprintln!(
-            "ccal: ignoring unparseable CCAL_PREFIX_DEEP={raw:?} (expected a \
-             non-negative integer; 0 disables query-point snapshot sharing)"
-        );
-    });
+    crate::envflag::bool_flag("CCAL_PREFIX_DEEP", true)
 }
 
 /// Whether the compiled ClightX bytecode tier is enabled by this process's
@@ -132,24 +87,7 @@ fn warn_bad_deep_once(raw: &str) {
 /// [`BytecodeOverride`]; instantiation sites should consult
 /// [`bytecode_effective`], not this function.
 pub fn bytecode_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| match std::env::var("CCAL_BYTECODE") {
-        Ok(v) => parse_share(&v).unwrap_or_else(|| {
-            warn_bad_bytecode_once(&v);
-            true
-        }),
-        Err(_) => true,
-    })
-}
-
-fn warn_bad_bytecode_once(raw: &str) {
-    static WARNED: OnceLock<()> = OnceLock::new();
-    WARNED.get_or_init(|| {
-        eprintln!(
-            "ccal: ignoring unparseable CCAL_BYTECODE={raw:?} (expected a \
-             non-negative integer; 0 disables the compiled ClightX tier)"
-        );
-    });
+    crate::envflag::bool_flag("CCAL_BYTECODE", true)
 }
 
 /// Scoped override of the bytecode tier: -1 = no override (fall back to
@@ -355,17 +293,33 @@ pub trait ForkSnapshot: Sized + Send {
 /// must fully determine the execution's input (primitive, arguments,
 /// phase) so that snapshots of one shard are interchangeable.
 ///
-/// Memory is bounded by `cap` with clear-on-full eviction (like the sim
-/// checker's upper-run cache): snapshots are a pure work-saving device, so
-/// dropping all of them at once costs re-execution, never correctness.
+/// Memory is bounded by `cap` with **deepest-first eviction**: when an
+/// insert would exceed the cap, the snapshots at the longest stored
+/// prefixes — the most specific cut points, each reusable only by the few
+/// contexts sharing that long prefix — are dropped first, *including the
+/// incoming snapshot itself* when it is the deepest. Root and shallow
+/// snapshots, which every later context of the family re-derives from
+/// scratch after a whole-trie clear, survive squeezes. Ties on depth evict
+/// the newest entry first (first insert wins), so a serial run's
+/// hit/evict sequence is deterministic; evictions are batched (about an
+/// eighth of the cap per scan, at least one) to amortize the victim scan
+/// on saturated tries. Snapshots are a pure work-saving device, so
+/// eviction costs re-execution, never correctness.
 pub struct SnapshotTrie<S> {
     map: Mutex<SnapshotStore<S>>,
     cap: usize,
+    hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
+/// One resident snapshot per `(family, inner)` shard, keyed by consumed
+/// schedule prefix and tagged with its insertion sequence number.
+type SnapshotShards<S> = HashMap<(u64, usize), HashMap<Vec<Pid>, (u64, S)>>;
+
 struct SnapshotStore<S> {
-    shards: HashMap<(u64, usize), PrefixShard<S>>,
+    shards: SnapshotShards<S>,
     len: usize,
+    next_seq: u64,
 }
 
 impl<S: ForkSnapshot> SnapshotTrie<S> {
@@ -376,32 +330,42 @@ impl<S: ForkSnapshot> SnapshotTrie<S> {
             map: Mutex::new(SnapshotStore {
                 shards: HashMap::new(),
                 len: 0,
+                next_seq: 0,
             }),
             cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Forks the snapshot at the *deepest* stored prefix of `key`'s script
-    /// (deepest saves the most re-execution), reporting the matched depth.
-    /// Unlike [`PrefixMemo::lookup_at`], many stored prefixes can apply at
-    /// once; determinism makes the choice observationally irrelevant.
+    /// (deepest saves the most re-execution), reporting the matched depth
+    /// and counting a hit. Unlike [`PrefixMemo::lookup_at`], many stored
+    /// prefixes can apply at once; determinism makes the choice
+    /// observationally irrelevant.
     pub fn lookup_deepest(&self, key: &ScheduleKey, inner: usize) -> Option<(usize, S)> {
         let store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let shard = store.shards.get(&(key.family, inner))?;
-        (0..=key.script.len()).rev().find_map(|d| {
+        let hit = (0..=key.script.len()).rev().find_map(|d| {
             shard
                 .get(&key.script[..d])
-                .and_then(ForkSnapshot::fork)
+                .and_then(|(_, s)| s.fork())
                 .map(|s| (d, s))
-        })
+        });
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     /// Stores the snapshot produced by `make` under the prefix of `key`'s
     /// script consumed so far (`consumed` scheduling events, clamped to
     /// the script length — same soundness argument as
     /// [`PrefixMemo::insert`]). First insert wins, and `make` is only
-    /// called when the cut point is vacant. When the trie is full, every
-    /// snapshot is evicted before inserting.
+    /// called when the cut point is vacant. When the trie is full, the
+    /// deepest snapshots are evicted first; an incoming snapshot at least
+    /// as deep as every resident is rejected instead (`make` is then never
+    /// called). Either way the drop is counted in [`SnapshotTrie::evictions`].
     pub fn insert_with(
         &self,
         key: &ScheduleKey,
@@ -411,16 +375,57 @@ impl<S: ForkSnapshot> SnapshotTrie<S> {
     ) {
         let depth = consumed.min(key.script.len());
         let mut store = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if store.len >= self.cap {
-            store.shards.clear();
-            store.len = 0;
-        }
-        let shard = store.shards.entry((key.family, inner)).or_default();
-        if shard.contains_key(&key.script[..depth]) {
+        if store
+            .shards
+            .get(&(key.family, inner))
+            .is_some_and(|shard| shard.contains_key(&key.script[..depth]))
+        {
             return;
         }
+        if store.len >= self.cap {
+            // The sequence number the incoming snapshot would be stored
+            // under — strictly newer than every resident's.
+            let incoming_seq = store.next_seq + 1;
+            type Victim = Option<((u64, usize), Vec<Pid>)>;
+            let mut cand: Vec<(usize, u64, Victim)> = Vec::with_capacity(store.len + 1);
+            for (sk, shard) in &store.shards {
+                for (prefix, (seq, _)) in shard {
+                    cand.push((prefix.len(), *seq, Some((*sk, prefix.clone()))));
+                }
+            }
+            cand.push((depth, incoming_seq, None));
+            // Deepest first; newest first among equal depths.
+            cand.sort_by_key(|c| std::cmp::Reverse((c.0, c.1)));
+            let batch = (self.cap / 8).max(1);
+            for (_, _, victim) in cand.into_iter().take(batch) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                match victim {
+                    Some((sk, prefix)) => {
+                        let emptied = store.shards.get_mut(&sk).is_some_and(|shard| {
+                            let removed = shard.remove(&prefix).is_some();
+                            debug_assert!(removed, "victim scan saw a live entry");
+                            shard.is_empty()
+                        });
+                        store.len -= 1;
+                        if emptied {
+                            store.shards.remove(&sk);
+                        }
+                    }
+                    // The incoming snapshot is the victim: drop it and
+                    // stop evicting residents — the trie no longer
+                    // overflows.
+                    None => return,
+                }
+            }
+        }
         if let Some(snap) = make() {
-            shard.insert(key.script[..depth].to_vec(), snap);
+            store.next_seq += 1;
+            let seq = store.next_seq;
+            store
+                .shards
+                .entry((key.family, inner))
+                .or_default()
+                .insert(key.script[..depth].to_vec(), (seq, snap));
             store.len += 1;
         }
     }
@@ -436,6 +441,17 @@ impl<S: ForkSnapshot> SnapshotTrie<S> {
     /// Whether no snapshot is stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lookups that forked a stored snapshot since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots dropped (or incoming inserts rejected) by the
+    /// deepest-first eviction since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -578,17 +594,6 @@ mod tests {
 
     fn key(family: u64, script: &[u32]) -> ScheduleKey {
         ScheduleKey::new(family, script.iter().map(|&p| Pid(p)).collect(), 2)
-    }
-
-    #[test]
-    fn parse_share_follows_the_por_grammar() {
-        assert_eq!(parse_share("0"), Some(false));
-        assert_eq!(parse_share(" 0 "), Some(false));
-        assert_eq!(parse_share("1"), Some(true));
-        assert_eq!(parse_share(" 16\n"), Some(true));
-        assert_eq!(parse_share("yes"), None);
-        assert_eq!(parse_share(""), None);
-        assert_eq!(parse_share("-1"), None);
     }
 
     #[test]
@@ -736,17 +741,90 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_cap_evicts_everything_before_inserting() {
+    fn snapshot_cap_evicts_deepest_first() {
         let trie = SnapshotTrie::new(2);
         trie.insert_with(&key(8, &[0, 0]), 0, 1, || Some(Snap("a", true)));
-        trie.insert_with(&key(8, &[1, 0]), 0, 1, || Some(Snap("b", true)));
+        trie.insert_with(&key(8, &[1, 0]), 0, 2, || Some(Snap("b", true)));
         assert_eq!(trie.len(), 2);
-        trie.insert_with(&key(8, &[0, 1]), 0, 2, || Some(Snap("c", true)));
-        assert_eq!(trie.len(), 1, "clear-on-full then insert");
-        assert_eq!(trie.lookup_deepest(&key(8, &[0, 0]), 0), None);
+        // Full trie, shallower incoming snapshot: the deepest resident
+        // ([1,0] at depth 2) is the victim; the shallow one survives.
+        trie.insert_with(&key(8, &[1, 1]), 0, 1, || Some(Snap("c", true)));
+        assert_eq!(trie.len(), 2);
+        assert_eq!(
+            trie.lookup_deepest(&key(8, &[0, 0]), 0),
+            Some((1, Snap("a", true)))
+        );
+        assert_eq!(trie.lookup_deepest(&key(8, &[1, 0]), 0).map(|(d, _)| d), Some(1));
+        assert_eq!(
+            trie.lookup_deepest(&key(8, &[1, 1]), 0),
+            Some((1, Snap("c", true)))
+        );
+        assert_eq!(trie.evictions(), 1);
+    }
+
+    #[test]
+    fn snapshot_cap_rejects_an_incoming_snapshot_deeper_than_every_resident() {
+        let trie = SnapshotTrie::new(1);
+        trie.insert_with(&key(8, &[0, 0]), 0, 1, || Some(Snap("shallow", true)));
+        let mut made = false;
+        trie.insert_with(&key(8, &[0, 1]), 0, 2, || {
+            made = true;
+            Some(Snap("deep", true))
+        });
+        assert!(!made, "rejected incoming snapshots are never made");
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.evictions(), 1);
+        // The shallow resident survives the squeeze and keeps answering.
         assert_eq!(
             trie.lookup_deepest(&key(8, &[0, 1]), 0),
-            Some((2, Snap("c", true)))
+            Some((1, Snap("shallow", true)))
+        );
+        assert_eq!(trie.hits(), 1);
+    }
+
+    /// The clear-on-full regression: under a cap-1 squeeze, deepest-first
+    /// eviction keeps the root snapshot every context of the family can
+    /// resume from, so the simulated re-execution cost (schedule slots
+    /// replayed from the matched depth) is strictly lower than with the
+    /// old whole-trie clear, which repeatedly threw the root away.
+    #[test]
+    fn shallow_snapshots_survive_a_cap_1_squeeze_better_than_full_clears() {
+        const LEN: usize = 4;
+        // The interleaved workload: for each context, try to resume (cost
+        // = slots not covered by the matched snapshot), then offer a
+        // deep snapshot at the context's full depth.
+        let scripts: Vec<Vec<u32>> = (0..8_usize)
+            .map(|i| (0..LEN).map(|s| u32::from((i >> s) & 1 == 1)).collect())
+            .collect();
+        let evict_cost = {
+            let trie = SnapshotTrie::new(1);
+            let mut cost = 0_u64;
+            trie.insert_with(&key(11, &scripts[0]), 0, 1, || Some(Snap("root", true)));
+            for s in &scripts {
+                let k = key(11, s);
+                let matched = trie.lookup_deepest(&k, 0).map_or(0, |(d, _)| d);
+                cost += (LEN - matched) as u64;
+                trie.insert_with(&k, 0, LEN, || Some(Snap("deep", true)));
+            }
+            cost
+        };
+        // Reference model of the old clear-on-full policy over the same
+        // workload: the trie holds exactly the last inserted snapshot.
+        let mut clear_cost = 0_u64;
+        {
+            let mut resident: Option<(Vec<u32>, usize)> = Some((scripts[0].clone(), 1));
+            for s in &scripts {
+                let matched = resident
+                    .as_ref()
+                    .filter(|(held, d)| held[..*d] == s[..*d])
+                    .map_or(0, |(_, d)| *d);
+                clear_cost += (LEN - matched) as u64;
+                resident = Some((s.clone(), LEN));
+            }
+        }
+        assert!(
+            evict_cost < clear_cost,
+            "deepest-first ({evict_cost}) should beat clear-on-full ({clear_cost})"
         );
     }
 

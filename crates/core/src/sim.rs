@@ -31,12 +31,13 @@
 //!
 //! # Parallel exploration and state dedup
 //!
-//! The `(context × argument-vector)` grid is explored by
-//! [`crate::par::run_cases`]: a shared atomic work queue over
-//! `std::thread::scope` workers ([`SimOptions::workers`], overridable with
-//! `CCAL_WORKERS`), folding outcomes in case order so the result — the
-//! evidence, the probe order, and the *first* failure — is bit-identical
-//! to the serial exploration. Additionally, symmetric schedules are
+//! The `(context × argument-vector)` grid is explored by the unified
+//! exploration kernel ([`crate::explore::Kernel`]): a shared atomic work
+//! queue over `std::thread::scope` workers ([`SimOptions::workers`],
+//! overridable with `CCAL_WORKERS`), folding outcomes in case order so the
+//! result — the evidence, the probe order, and the *first* failure — is
+//! bit-identical to the serial exploration. Additionally, symmetric
+//! schedules are
 //! checked once: many contexts differ only in environment interleaving
 //! and abstract to the same replayed upper event sequence, so the upper
 //! run is memoized keyed on that sequence plus the argument vector
@@ -62,6 +63,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::env::EnvContext;
 use crate::event::Event;
+use crate::explore::Case;
 use crate::id::Pid;
 use crate::layer::{LayerInterface, PrimRun};
 use crate::log::Log;
@@ -385,14 +387,18 @@ pub struct SimOptions {
     /// explicit tiers must be serialized by the caller.
     pub bytecode: bool,
     /// Capacity cap on the query-point snapshot trie, with the same
-    /// clear-on-full eviction as `upper_cache_cap`: snapshots only save
-    /// work, so eviction costs re-execution, never correctness.
+    /// deepest-first eviction as `upper_cache_cap`
+    /// ([`crate::prefix::SnapshotTrie`]): snapshots only save work, so
+    /// eviction costs re-execution, never correctness.
     pub snapshot_cap: usize,
-    /// Capacity cap on the upper-run memo table. When an insert would
-    /// exceed the cap the table is cleared (generation eviction), so the
-    /// memory footprint stays bounded on huge grids while verdicts and
-    /// evidence are unchanged — a miss merely re-runs the deterministic
-    /// upper machine.
+    /// Capacity cap on the upper-run memo table
+    /// ([`crate::explore::BoundedCache`]). When an insert would exceed the
+    /// cap, the deepest entries — the longest replayed event sequences,
+    /// the least likely to recur — are evicted first, so shallow entries
+    /// that many later cases re-derive survive the squeeze instead of
+    /// being dropped by a whole-table clear. The memory footprint stays
+    /// bounded on huge grids while verdicts and evidence are unchanged —
+    /// a miss merely re-runs the deterministic upper machine.
     pub upper_cache_cap: usize,
 }
 
@@ -520,17 +526,12 @@ pub fn check_prim_refinement(
             reason,
         })
     };
-    // Outcome of one (context, argument-vector) case.
-    #[allow(clippy::items_after_statements)]
-    enum CaseOutcome {
-        Skipped,
-        Reduced,
-        Checked { lower_log: Log, upper_log: Log },
-        Failed(Box<SimFailure>),
-    }
     // Outcome of the upper half of a case — a deterministic function of
     // the replayed abstract event sequence and the argument vector, which
-    // makes it memoizable across symmetric schedules.
+    // makes it memoizable across symmetric schedules. The memo is bounded
+    // with deepest-first eviction: entries are keyed at the length of the
+    // replayed sequence, so the long, unlikely-to-recur runs are dropped
+    // before the short ones many cases share.
     #[allow(clippy::items_after_statements)]
     #[derive(Clone)]
     enum UpperRun {
@@ -538,7 +539,8 @@ pub fn check_prim_refinement(
         Failed { reason: String, upper_log: Log },
         Done { upper_log: Log, upper_ret: Val },
     }
-    let upper_cache: Mutex<HashMap<(Log, usize), UpperRun>> = Mutex::new(HashMap::new());
+    let upper_cache: crate::explore::BoundedCache<(Log, usize), UpperRun> =
+        crate::explore::BoundedCache::new(opts.upper_cache_cap);
     let run_upper = |expected: &Log, args: &[Val]| -> UpperRun {
         let upper_env = replay_env(expected, pid);
         let mut upper =
@@ -644,17 +646,25 @@ pub fn check_prim_refinement(
             })
         }
     }
-    let lower_memo: crate::prefix::PrefixMemo<LowerRun> = crate::prefix::PrefixMemo::new();
-    let snapshots: crate::prefix::SnapshotTrie<SimSnap> =
-        crate::prefix::SnapshotTrie::new(opts.snapshot_cap);
-    let share = opts.prefix_share;
-    let deep = share && opts.deep_share;
+    // The kernel owns the prefix memo and the snapshot trie. Sim's phase
+    // accounting distinguishes shared (`Abort`/`PostSetup`/`Return`) from
+    // deep (`Setup`/`Call`) snapshot hits, so it resumes via the raw
+    // [`crate::explore::Kernel::lookup_snapshot`] and records itself.
+    let kernel: crate::explore::Kernel<SimSnap, LowerRun> =
+        crate::explore::Kernel::new(&crate::explore::ExploreOptions {
+            workers: opts.workers,
+            por: opts.por,
+            prefix_share: opts.prefix_share,
+            deep_share: opts.deep_share,
+            snapshot_cap: opts.snapshot_cap,
+        });
+    let deep = kernel.deep();
     let sched_consumed =
         |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
     // Inserts a query-point snapshot of the checked call for sub-case `ai`.
     let snap_call_point =
         |k: &crate::prefix::ScheduleKey, ai: usize, mach: &LayerMachine, run: &dyn PrimRun| {
-            snapshots.insert_with(k, 1 + ai, sched_consumed(mach), || {
+            kernel.snapshot(k, 1 + ai, sched_consumed(mach), || {
                 Some(SimSnap::Call {
                     machine: mach.fork(),
                     run: run.fork_run()?,
@@ -673,7 +683,7 @@ pub fn check_prim_refinement(
         let call_idx = std::cell::Cell::new(first);
         let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
             let Some(k) = key else { return };
-            snapshots.insert_with(k, 0, sched_consumed(mach), || {
+            kernel.snapshot(k, 0, sched_consumed(mach), || {
                 Some(SimSnap::Setup {
                     machine: mach.fork(),
                     run: run.fork_run()?,
@@ -729,14 +739,14 @@ pub fn check_prim_refinement(
             Some(outcome) => {
                 if let Some(k) = key {
                     let out = outcome.clone();
-                    snapshots.insert_with(k, 0, consumed, || Some(SimSnap::Abort { outcome: out }));
+                    kernel.snapshot(k, 0, consumed, || Some(SimSnap::Abort { outcome: out }));
                 }
                 Err((outcome, consumed))
             }
             None => {
                 if let Some(k) = key {
-                    snapshots
-                        .insert_with(k, 0, consumed, || Some(SimSnap::PostSetup { machine: m.fork() }));
+                    kernel
+                        .snapshot(k, 0, consumed, || Some(SimSnap::PostSetup { machine: m.fork() }));
                 }
                 Ok(m)
             }
@@ -752,7 +762,7 @@ pub fn check_prim_refinement(
         match res {
             Ok(lower_ret) => {
                 if let Some(k) = key {
-                    snapshots.insert_with(k, 1 + ai, sched_consumed(lower), || {
+                    kernel.snapshot(k, 1 + ai, sched_consumed(lower), || {
                         Some(SimSnap::Return {
                             machine: lower.fork(),
                             lower_ret: lower_ret.clone(),
@@ -769,7 +779,7 @@ pub fn check_prim_refinement(
                     Some(k) => {
                         let ret = lower_ret.clone();
                         let _ = lower.deliver_env_each_turn(&mut |m| {
-                            snapshots.insert_with(k, 1 + ai, sched_consumed(m), || {
+                            kernel.snapshot(k, 1 + ai, sched_consumed(m), || {
                                 Some(SimSnap::Return {
                                     machine: m.fork(),
                                     lower_ret: ret.clone(),
@@ -797,13 +807,13 @@ pub fn check_prim_refinement(
     // deepest stored snapshot. Returns the outcome plus the total consumed
     // schedule prefix length.
     let exec_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> (LowerRun, usize) {
-        let key = if share { env.schedule_key() } else { None };
+        let key = kernel.share_key(env);
         let fresh =
             || LayerMachine::new(lower_iface.clone(), pid, env.clone()).with_fuel(opts.fuel);
         let mut lower = if opts.setup.is_empty() {
             fresh()
         } else {
-            match key.and_then(|k| snapshots.lookup_deepest(k, 0)) {
+            match key.and_then(|k| kernel.lookup_snapshot(k, 0)) {
                 Some((depth, SimSnap::Abort { outcome })) => {
                     crate::prefix::record_shared();
                     return (outcome, depth);
@@ -865,15 +875,13 @@ pub fn check_prim_refinement(
     // contexts that agree only up to some snapshot's cut point fork it and
     // execute just the schedule suffix.
     let run_lower = |env: &EnvContext, ai: usize, args: &[Val]| -> LowerRun {
-        let key = if share { env.schedule_key() } else { None };
-        let Some(k) = key else {
+        let Some(k) = kernel.share_key(env) else {
             return exec_lower(env, ai, args).0;
         };
-        if let Some(hit) = lower_memo.lookup(k, ai) {
-            crate::prefix::record_shared();
+        if let Some(hit) = kernel.cached(k, ai) {
             return hit;
         }
-        let resumed = match snapshots.lookup_deepest(k, 1 + ai) {
+        let resumed = match kernel.lookup_snapshot(k, 1 + ai) {
             Some((_, SimSnap::Return { machine, lower_ret })) => {
                 crate::prefix::record_shared();
                 let mut lower = machine.fork_with_env(env.clone());
@@ -881,7 +889,7 @@ pub fn check_prim_refinement(
                 if deep {
                     let ret = lower_ret.clone();
                     let _ = lower.deliver_env_each_turn(&mut |m| {
-                        snapshots.insert_with(k, 1 + ai, sched_consumed(m), || {
+                        kernel.snapshot(k, 1 + ai, sched_consumed(m), || {
                             Some(SimSnap::Return {
                                 machine: m.fork(),
                                 lower_ret: ret.clone(),
@@ -918,24 +926,24 @@ pub fn check_prim_refinement(
             Some(_) | None => None,
         };
         let (outcome, consumed) = resumed.unwrap_or_else(|| exec_lower(env, ai, args));
-        lower_memo.insert(k, ai, consumed, outcome.clone());
+        kernel.memoize(k, ai, consumed, outcome.clone());
         outcome
     };
     let nargs = arg_vectors.len();
-    let total = contexts.len() * nargs;
-    let run_case_inner = |idx: usize| -> CaseOutcome {
-        let (ci, ai) = (idx / nargs, idx % nargs);
+    let explored = kernel.explore("sim", contexts, nargs, |ci, ai| {
         let env = &contexts[ci];
-        if opts.por && env.is_por_equivalent() {
-            // A lower-indexed trace-equivalent context covers this case.
-            return CaseOutcome::Reduced;
-        }
         let args = &arg_vectors[ai];
         let case = format!("context #{ci}, args #{ai} {args:?}");
+        // A failing case carries the forensics payload — the witness lower
+        // log, the reason, the case description — alongside the failure.
+        let failed = |case: String, lower_log: Log, upper_log: Log, reason: String| {
+            let (log, r, detail) = (lower_log.clone(), reason.clone(), case.clone());
+            Case::failed(fail(case, lower_log, upper_log, reason), log, r, detail)
+        };
         let (lower_log, lower_ret) = match run_lower(env, ai, args) {
-            LowerRun::Skipped => return CaseOutcome::Skipped,
+            LowerRun::Skipped => return Case::Skipped,
             LowerRun::Failed { lower_log, reason } => {
-                return CaseOutcome::Failed(fail(case, lower_log, Log::new(), reason));
+                return failed(case, lower_log, Log::new(), reason);
             }
             LowerRun::Done {
                 lower_log,
@@ -946,12 +954,12 @@ pub fn check_prim_refinement(
         let expected = match relation.abstracted(&lower_log) {
             Some(l) => l,
             None => {
-                return CaseOutcome::Failed(fail(
+                return failed(
                     case,
                     lower_log.clone(),
                     Log::new(),
                     format!("lower log outside domain of {}", relation.name),
-                ));
+                );
             }
         };
         // 3–4. Replay it as the upper environment and run the upper
@@ -959,25 +967,15 @@ pub fn check_prim_refinement(
         // when dedup is on, since the upper run depends on nothing else.
         let upper_run = if opts.dedup {
             let key = (expected.clone(), ai);
-            let hit = upper_cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .get(&key)
-                .cloned();
-            match hit {
+            match upper_cache.get(&key) {
                 Some(r) => r,
                 None => {
                     let r = run_upper(&expected, args);
-                    let mut cache = upper_cache
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    // Generation eviction: clearing on a full table bounds
-                    // memory without affecting verdicts (misses re-run the
-                    // deterministic upper machine).
-                    if cache.len() >= opts.upper_cache_cap {
-                        cache.clear();
-                    }
-                    cache.insert(key, r.clone());
+                    // Keyed at the replayed sequence's length: on a full
+                    // table the deepest (longest-sequence) entries are
+                    // evicted first, so the short entries symmetric
+                    // schedules keep re-deriving survive the squeeze.
+                    upper_cache.insert(key, expected.len(), r.clone());
                     r
                 }
             }
@@ -985,10 +983,8 @@ pub fn check_prim_refinement(
             run_upper(&expected, args)
         };
         match upper_run {
-            UpperRun::Skipped => CaseOutcome::Skipped,
-            UpperRun::Failed { reason, upper_log } => {
-                CaseOutcome::Failed(fail(case, lower_log, upper_log, reason))
-            }
+            UpperRun::Skipped => Case::Skipped,
+            UpperRun::Failed { reason, upper_log } => failed(case, lower_log, upper_log, reason),
             UpperRun::Done {
                 upper_log,
                 upper_ret,
@@ -997,77 +993,37 @@ pub fn check_prim_refinement(
                 // abstraction of the lower log, so `R(lower, upper)`
                 // reduces to one comparison — and return values.
                 if expected != upper_log.without_sched() {
-                    return CaseOutcome::Failed(fail(
+                    return failed(
                         case,
                         lower_log,
                         upper_log,
                         format!("logs not related by {}", relation.name),
-                    ));
+                    );
                 }
                 if opts.compare_rets && lower_ret != upper_ret {
-                    return CaseOutcome::Failed(fail(
+                    return failed(
                         case,
                         lower_log,
                         upper_log,
                         format!("return values differ: {lower_ret} vs {upper_ret}"),
-                    ));
+                    );
                 }
-                CaseOutcome::Checked {
-                    lower_log,
-                    upper_log,
-                }
+                Case::Checked((lower_log, upper_log))
             }
         }
-    };
-    // When a forensics capture scope is active, record every failing case
-    // (with its concrete lower log) so the shrink/replay pipeline can
-    // reify the adversarial context; the index-least capture is exactly
-    // the first failure returned below.
-    let run_case = |idx: usize| -> CaseOutcome {
-        let outcome = run_case_inner(idx);
-        if crate::forensics::capturing() {
-            if let CaseOutcome::Failed(f) = &outcome {
-                crate::forensics::record(crate::forensics::FailingCase {
-                    checker: "sim",
-                    case_index: idx,
-                    ctx_index: idx / nargs,
-                    detail: f.case.clone(),
-                    log: f.lower_log.clone(),
-                    reason: f.reason.clone(),
-                });
-            }
-        }
-        outcome
-    };
-    // With sharing on and several workers, claim the grid in digit-reversed
-    // (subtree) order so each worker's chunk shares long schedule prefixes —
-    // the memo then hits within a chunk instead of racing across chunks.
-    let order = if share && opts.workers > 1 {
-        let keys: Vec<Option<&crate::prefix::ScheduleKey>> =
-            contexts.iter().map(EnvContext::schedule_key).collect();
-        crate::prefix::subtree_case_order(&keys, nargs)
-    } else {
-        None
-    };
-    let slots = crate::par::run_cases_ordered(total, opts.workers, order.as_deref(), run_case, |o| {
-        matches!(o, CaseOutcome::Failed(_))
     });
-    let mut evidence = SimEvidence::default();
-    for slot in slots {
-        match slot {
-            None => break,
-            Some(CaseOutcome::Skipped) => evidence.cases_skipped += 1,
-            Some(CaseOutcome::Reduced) => evidence.cases_reduced += 1,
-            Some(CaseOutcome::Checked {
-                lower_log,
-                upper_log,
-            }) => {
-                evidence.probes.push(pid, lower_log);
-                evidence.probes.push(pid, upper_log);
-                evidence.cases_checked += 1;
-            }
-            Some(CaseOutcome::Failed(f)) => return Err(f),
-        }
+    if let Some(f) = explored.failure {
+        return Err(f);
+    }
+    let mut evidence = SimEvidence {
+        cases_checked: explored.cases_checked,
+        cases_skipped: explored.cases_skipped,
+        cases_reduced: explored.cases_reduced,
+        probes: ProbeSuite::default(),
+    };
+    for (lower_log, upper_log) in explored.checked {
+        evidence.probes.push(pid, lower_log);
+        evidence.probes.push(pid, upper_log);
     }
     Ok(evidence)
 }

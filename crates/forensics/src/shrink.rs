@@ -233,8 +233,7 @@ mod tests {
     #[test]
     fn shrinks_to_the_monotone_core() {
         let sc = big_context();
-        let mut o = oracle;
-        let out = shrink(&sc, &mut |c| o(c));
+        let out = shrink(&sc, &mut oracle);
         assert!(oracle(&out.context), "shrunk context must still fail");
         // Exactly one schedule slot (p1) and one event (the push to 50).
         assert_eq!(out.context.schedule, vec![Pid(1)]);

@@ -12,6 +12,7 @@
 
 use ccal_core::calculus::{LayerError, Obligation, Rule};
 use ccal_core::env::EnvContext;
+use ccal_core::explore::{Case, ExploreOptions, Kernel};
 use ccal_core::id::Pid;
 use ccal_core::layer::LayerInterface;
 use ccal_core::machine::LayerMachine;
@@ -115,60 +116,33 @@ pub fn check_liveness_tuned(
     prefix_share: bool,
     deep_share: bool,
 ) -> Result<Obligation, LayerError> {
-    // Contexts are independent: explore them on the shared work queue and
-    // fold in context order, so the worst-case step count and the first
-    // failure match the serial exploration exactly.
-    #[allow(clippy::items_after_statements)]
-    enum Case {
-        Skipped,
-        Reduced,
-        Done(u64),
-        Failed(Box<LayerError>),
-    }
     // The machine run is a deterministic function of the consumed schedule
     // prefix, so its result (not the per-case classification, which names
-    // the context index) is shared across contexts via the prefix memo.
+    // the context index) is shared across contexts via the kernel's prefix
+    // memo; query-point snapshots are plain `RunSnap`s with no extra state.
     type LowerRun = (Result<(), ccal_core::machine::MachineError>, ccal_core::log::Log);
-    // A query-point snapshot (deep sharing): the machine plus a fork of
-    // the in-flight run, resumable under any context whose script agrees
-    // on the consumed schedule prefix.
-    #[allow(clippy::items_after_statements)]
-    struct LiveSnap {
-        machine: LayerMachine,
-        run: Box<dyn ccal_core::layer::PrimRun>,
-    }
-    #[allow(clippy::items_after_statements)]
-    impl ccal_core::prefix::ForkSnapshot for LiveSnap {
-        fn fork(&self) -> Option<Self> {
-            Some(LiveSnap {
-                machine: self.machine.fork(),
-                run: self.run.fork_run()?,
-            })
-        }
-    }
-    let memo: ccal_core::prefix::PrefixMemo<LowerRun> = ccal_core::prefix::PrefixMemo::new();
-    let deep = prefix_share && deep_share;
-    let snapshots: ccal_core::prefix::SnapshotTrie<LiveSnap> =
-        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
+    type LiveSnap = ccal_core::explore::RunSnap<()>;
+    let kernel: Kernel<LiveSnap, LowerRun> =
+        Kernel::new(&ExploreOptions::tuned(workers, por, prefix_share, deep_share));
     let sched_consumed =
         |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
     let snap_point = |k: &ccal_core::prefix::ScheduleKey,
                       mach: &LayerMachine,
                       run: &dyn ccal_core::layer::PrimRun| {
-        snapshots.insert_with(k, 0, sched_consumed(mach), || {
+        kernel.snapshot(k, 0, sched_consumed(mach), || {
             Some(LiveSnap {
                 machine: mach.fork(),
                 run: run.fork_run()?,
+                extra: (),
             })
         });
     };
     let exec_lower = |env: &EnvContext| -> (LowerRun, usize) {
-        let key = if deep { env.schedule_key() } else { None };
+        let key = kernel.deep_key(env);
         if let Some(k) = key {
-            if let Some((_, LiveSnap { machine, run })) = snapshots.lookup_deepest(k, 0) {
+            if let Some((_, LiveSnap { machine, run, .. })) = kernel.resume_deepest(k, 0) {
                 // Fork the deepest snapshotted ancestor and execute only
                 // the schedule suffix, counting only the suffix work.
-                ccal_core::prefix::record_deep();
                 let mut machine = machine.fork_with_env(env.clone());
                 let pre = machine.steps_taken() + machine.log.len() as u64;
                 let mut hook = |mach: &LayerMachine, run: &dyn ccal_core::layer::PrimRun| {
@@ -195,38 +169,11 @@ pub fn check_liveness_tuned(
         let consumed = sched_consumed(&machine);
         ((res, machine.log), consumed)
     };
-    let run_lower = |env: &EnvContext| -> LowerRun {
-        match if prefix_share { env.schedule_key() } else { None } {
-            Some(k) => {
-                if let Some(hit) = memo.lookup(k, 0) {
-                    ccal_core::prefix::record_shared();
-                    return hit;
-                }
-                let (outcome, consumed) = exec_lower(env);
-                memo.insert(k, 0, consumed, outcome.clone());
-                outcome
-            }
-            None => exec_lower(env).0,
-        }
-    };
-    let run_case = |ci: usize| -> Case {
+    let explored = kernel.explore("live", contexts, 1, |ci, _| {
         let env = &contexts[ci];
-        if por && env.is_por_equivalent() {
-            return Case::Reduced;
-        }
-        let (res, log) = run_lower(env);
-        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
-            if ccal_core::forensics::capturing() {
-                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
-                    checker: "live",
-                    case_index: ci,
-                    ctx_index: ci,
-                    detail: format!("context #{ci}"),
-                    log: log.clone(),
-                    reason,
-                });
-            }
-            Case::Failed(Box::new(err))
+        let (res, log) = kernel.run_shared(env, 0, || exec_lower(env));
+        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| {
+            Case::failed(err, log.clone(), reason, format!("context #{ci}"))
         };
         match res {
             Ok(()) => {}
@@ -259,44 +206,21 @@ pub fn check_liveness_tuned(
                 },
             );
         }
-        Case::Done(steps)
-    };
-    let order = if prefix_share && workers > 1 {
-        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
-            contexts.iter().map(EnvContext::schedule_key).collect();
-        ccal_core::prefix::subtree_case_order(&keys, 1)
-    } else {
-        None
-    };
-    let slots =
-        ccal_core::par::run_cases_ordered(contexts.len(), workers, order.as_deref(), run_case, |c| {
-            matches!(c, Case::Failed(_))
-        });
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    let mut cases_reduced = 0;
-    let mut worst = 0_u64;
-    for slot in slots {
-        match slot {
-            None => break,
-            Some(Case::Skipped) => cases_skipped += 1,
-            Some(Case::Reduced) => cases_reduced += 1,
-            Some(Case::Done(steps)) => {
-                worst = worst.max(steps);
-                cases_checked += 1;
-            }
-            Some(Case::Failed(e)) => return Err(*e),
-        }
+        Case::Checked(steps)
+    });
+    if let Some(e) = explored.failure {
+        return Err(e);
     }
+    let worst = explored.checked.iter().copied().fold(0_u64, u64::max);
     Ok(Obligation {
         rule: Rule::Liveness,
         description: format!(
             "`{prim}` completes within {bound} steps on {} (worst observed: {worst})",
             iface.name
         ),
-        cases_checked,
-        cases_skipped,
-        cases_reduced,
+        cases_checked: explored.cases_checked,
+        cases_skipped: explored.cases_skipped,
+        cases_reduced: explored.cases_reduced,
     })
 }
 

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use ccal_core::calculus::{LayerError, Obligation, Rule};
 use ccal_core::conc::{ConcurrentMachine, ThreadScript};
 use ccal_core::env::EnvContext;
+use ccal_core::explore::{Case, ExploreOptions, Kernel};
 use ccal_core::id::{Pid, PidSet};
 use ccal_core::layer::LayerInterface;
 use ccal_core::machine::MachineError;
@@ -99,105 +100,20 @@ pub fn check_race_freedom_tuned(
     prefix_share: bool,
     deep_share: bool,
 ) -> Result<Obligation, LayerError> {
-    // Interleavings are independent: explore on the shared work queue,
-    // fold in context order for a deterministic first counterexample.
-    #[allow(clippy::items_after_statements)]
-    enum Case {
-        Checked,
-        Skipped,
-        Reduced,
-        Failed(Box<LayerError>),
-    }
     // The traced run is a deterministic function of the consumed schedule
-    // prefix, so it is shared across contexts via the prefix memo; only the
-    // per-case classification (which names the context index) is redone.
-    type TracedRun = (
-        Result<ccal_core::conc::ConcurrentOutcome, MachineError>,
-        ccal_core::log::Log,
-    );
-    let memo: ccal_core::prefix::PrefixMemo<TracedRun> = ccal_core::prefix::PrefixMemo::new();
-    // A forked mid-run game state (deep sharing): one turn consumes one
-    // schedule slot, so a state at turn `k` resumes under any context
-    // agreeing on the first `k` slots.
-    #[allow(clippy::items_after_statements)]
-    struct GameSnap(ccal_core::conc::GameState);
-    #[allow(clippy::items_after_statements)]
-    impl ccal_core::prefix::ForkSnapshot for GameSnap {
-        fn fork(&self) -> Option<Self> {
-            self.0.fork().map(GameSnap)
-        }
-    }
-    let deep = prefix_share && deep_share;
-    let snapshots: ccal_core::prefix::SnapshotTrie<GameSnap> =
-        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
-    let exec_lower = |env: &EnvContext| -> (TracedRun, usize) {
-        let key = if deep { env.schedule_key() } else { None };
-        let machine =
-            ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone()).with_fuel(fuel);
-        let (res, log, pre) = match key {
-            Some(k) => {
-                let mut hook = |st: &ccal_core::conc::GameState| {
-                    snapshots.insert_with(k, 0, st.sched_consumed(), || st.fork().map(GameSnap));
-                };
-                match snapshots.lookup_deepest(k, 0) {
-                    Some((_, GameSnap(st))) => {
-                        // Fork the deepest snapshotted ancestor and replay
-                        // only the remaining turns, counting only them.
-                        ccal_core::prefix::record_deep();
-                        let pre = st.log_len() as u64;
-                        let (res, log) = machine.run_traced_from(st, &mut hook);
-                        (res, log, pre)
-                    }
-                    None => {
-                        let (res, log) = machine.run_traced_with_snapshots(programs, &mut hook);
-                        (res, log, 0)
-                    }
-                }
-            }
-            None => {
-                let (res, log) = machine.run_traced(programs);
-                (res, log, 0)
-            }
-        };
-        ccal_core::prefix::record_steps(log.len() as u64 - pre);
-        let consumed = log.iter().filter(|e| e.is_sched()).count();
-        ((res, log), consumed)
-    };
-    let run_lower = |env: &EnvContext| -> TracedRun {
-        match if prefix_share { env.schedule_key() } else { None } {
-            Some(k) => {
-                if let Some(hit) = memo.lookup(k, 0) {
-                    ccal_core::prefix::record_shared();
-                    return hit;
-                }
-                let (outcome, consumed) = exec_lower(env);
-                memo.insert(k, 0, consumed, outcome.clone());
-                outcome
-            }
-            None => exec_lower(env).0,
-        }
-    };
-    let run_case = |ci: usize| -> Case {
+    // prefix, so the kernel's game-run helper shares it across contexts
+    // (memo + whole-`GameState` query-point snapshots); only the per-case
+    // classification (which names the context index) is redone.
+    let kernel: Kernel<ccal_core::conc::GameState, ccal_core::explore::GameRun> =
+        Kernel::new(&ExploreOptions::tuned(workers, por, prefix_share, deep_share));
+    let explored = kernel.explore("race", contexts, 1, |ci, _| {
         let env = &contexts[ci];
-        if por && env.is_por_equivalent() {
-            return Case::Reduced;
-        }
-        let (res, log) = run_lower(env);
-        let fail = |reason: String, err: LayerError| -> Case {
-            if ccal_core::forensics::capturing() {
-                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
-                    checker: "race",
-                    case_index: ci,
-                    ctx_index: ci,
-                    detail: format!("context #{ci}"),
-                    log: log.clone(),
-                    reason,
-                });
-            }
-            Case::Failed(Box::new(err))
+        let (res, log) = kernel.run_game(iface, focused, programs, env, fuel);
+        let fail = |reason: String, err: LayerError| -> Case<(), LayerError> {
+            Case::failed(err, log.clone(), reason, format!("context #{ci}"))
         };
         match res {
-            Ok(_) => Case::Checked,
+            Ok(_) => Case::Checked(()),
             Err(e) if e.is_invalid_context() => Case::Skipped,
             Err(MachineError::OutOfFuel { .. }) => Case::Skipped,
             Err(MachineError::Stuck(msg)) => fail(
@@ -221,36 +137,16 @@ pub fn check_race_freedom_tuned(
                 fail(reason, LayerError::Machine(e))
             }
         }
-    };
-    let order = if prefix_share && workers > 1 {
-        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
-            contexts.iter().map(EnvContext::schedule_key).collect();
-        ccal_core::prefix::subtree_case_order(&keys, 1)
-    } else {
-        None
-    };
-    let slots =
-        ccal_core::par::run_cases_ordered(contexts.len(), workers, order.as_deref(), run_case, |c| {
-            matches!(c, Case::Failed(_))
-        });
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    let mut cases_reduced = 0;
-    for slot in slots {
-        match slot {
-            None => break,
-            Some(Case::Checked) => cases_checked += 1,
-            Some(Case::Skipped) => cases_skipped += 1,
-            Some(Case::Reduced) => cases_reduced += 1,
-            Some(Case::Failed(e)) => return Err(*e),
-        }
+    });
+    if let Some(e) = explored.failure {
+        return Err(e);
     }
     Ok(Obligation {
         rule: Rule::RaceFreedom,
         description: format!("{} never gets stuck (push/pull DRF)", iface.name),
-        cases_checked,
-        cases_skipped,
-        cases_reduced,
+        cases_checked: explored.cases_checked,
+        cases_skipped: explored.cases_skipped,
+        cases_reduced: explored.cases_reduced,
     })
 }
 

@@ -11,6 +11,7 @@
 
 use ccal_core::calculus::{LayerError, Obligation, Rule};
 use ccal_core::env::EnvContext;
+use ccal_core::explore::{Case, ExploreOptions, Kernel};
 use ccal_core::id::Pid;
 use ccal_core::layer::LayerInterface;
 use ccal_core::machine::LayerMachine;
@@ -111,20 +112,12 @@ pub fn check_sequence_refinement_tuned(
     prefix_share: bool,
     deep_share: bool,
 ) -> Result<Obligation, LayerError> {
-    // The (context × script) grid is explored on the shared work queue and
-    // folded in case order — same counts and first failure as serially.
-    #[allow(clippy::items_after_statements)]
-    enum Case {
-        Checked,
-        Skipped,
-        Reduced,
-        Failed(Box<LayerError>),
-    }
     // The impl-machine run is a deterministic function of the consumed
     // schedule prefix and the script index, so it is shared across contexts
-    // via the prefix memo. The spec phase replays the abstracted impl log
-    // (context-independent) and is recomputed per case: its environment is
-    // derived from the memoized impl log, so recomputation is deterministic.
+    // via the kernel's prefix memo. The spec phase replays the abstracted
+    // impl log (context-independent) and is recomputed per case: its
+    // environment is derived from the memoized impl log, so recomputation
+    // is deterministic.
     #[allow(clippy::items_after_statements)]
     #[derive(Clone)]
     enum ImplRun {
@@ -138,32 +131,14 @@ pub fn check_sequence_refinement_tuned(
             rets: Vec<Val>,
         },
     }
-    let memo: ccal_core::prefix::PrefixMemo<ImplRun> = ccal_core::prefix::PrefixMemo::new();
-    let nscripts = scripts.len();
     // A query-point snapshot of the impl machine mid-script (deep
-    // sharing): the in-flight run of script call `call`, with the return
-    // values of the calls already completed.
+    // sharing): the in-flight run of script call `extra.0`, with the
+    // return values of the calls already completed in `extra.1`.
     #[allow(clippy::items_after_statements)]
-    struct SeqSnap {
-        machine: LayerMachine,
-        run: Box<dyn ccal_core::layer::PrimRun>,
-        call: usize,
-        rets: Vec<Val>,
-    }
-    #[allow(clippy::items_after_statements)]
-    impl ccal_core::prefix::ForkSnapshot for SeqSnap {
-        fn fork(&self) -> Option<Self> {
-            Some(SeqSnap {
-                machine: self.machine.fork(),
-                run: self.run.fork_run()?,
-                call: self.call,
-                rets: self.rets.clone(),
-            })
-        }
-    }
-    let deep = prefix_share && deep_share;
-    let snapshots: ccal_core::prefix::SnapshotTrie<SeqSnap> =
-        ccal_core::prefix::SnapshotTrie::new(ccal_core::prefix::DEFAULT_SNAPSHOT_CAP);
+    type SeqSnap = ccal_core::explore::RunSnap<(usize, Vec<Val>)>;
+    let nscripts = scripts.len();
+    let kernel: Kernel<SeqSnap, ImplRun> =
+        Kernel::new(&ExploreOptions::tuned(workers, por, prefix_share, deep_share));
     let sched_consumed =
         |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();
     // Runs script `si` on `m` from call index `first` (finishing `inflight`
@@ -183,12 +158,11 @@ pub fn check_sequence_refinement_tuned(
             let before = rets.clone();
             let mut hook = |mach: &LayerMachine, r: &dyn ccal_core::layer::PrimRun| {
                 let Some(k) = key else { return };
-                snapshots.insert_with(k, si, sched_consumed(mach), || {
+                kernel.snapshot(k, si, sched_consumed(mach), || {
                     Some(SeqSnap {
                         machine: mach.fork(),
                         run: r.fork_run()?,
-                        call: first,
-                        rets: before.clone(),
+                        extra: (first, before.clone()),
                     })
                 });
             };
@@ -208,16 +182,15 @@ pub fn check_sequence_refinement_tuned(
             let before = rets.clone();
             let mut hook = |mach: &LayerMachine, r: &dyn ccal_core::layer::PrimRun| {
                 let Some(k) = key else { return };
-                snapshots.insert_with(k, si, sched_consumed(mach), || {
+                kernel.snapshot(k, si, sched_consumed(mach), || {
                     Some(SeqSnap {
                         machine: mach.fork(),
                         run: r.fork_run()?,
-                        call: i,
-                        rets: before.clone(),
+                        extra: (i, before.clone()),
                     })
                 });
             };
-            let res = if deep && key.is_some() {
+            let res = if kernel.deep() && key.is_some() {
                 m.call_prim_with_snapshots(name, args, &mut hook)
             } else {
                 m.call_prim(name, args)
@@ -236,14 +209,13 @@ pub fn check_sequence_refinement_tuned(
         Ok(rets)
     };
     let exec_impl = |env: &EnvContext, si: usize| -> (ImplRun, usize) {
-        let key = if deep { env.schedule_key() } else { None };
+        let key = kernel.deep_key(env);
         if let Some(k) = key {
-            if let Some((_, SeqSnap { machine, run, call, rets })) =
-                snapshots.lookup_deepest(k, si)
+            if let Some((_, SeqSnap { machine, run, extra: (call, rets) })) =
+                kernel.resume_deepest(k, si)
             {
                 // Fork the deepest snapshotted ancestor and execute only
                 // the schedule suffix, counting only the suffix work.
-                ccal_core::prefix::record_deep();
                 let mut m = machine.fork_with_env(env.clone());
                 let pre = m.steps_taken() + m.log.len() as u64;
                 let outcome = match run_script(&mut m, si, call, Some(run), rets, Some(k)) {
@@ -271,41 +243,13 @@ pub fn check_sequence_refinement_tuned(
         );
         (outcome, sched_consumed(&impl_machine))
     };
-    let run_impl = |env: &EnvContext, si: usize| -> ImplRun {
-        match if prefix_share { env.schedule_key() } else { None } {
-            Some(k) => {
-                if let Some(hit) = memo.lookup(k, si) {
-                    ccal_core::prefix::record_shared();
-                    return hit;
-                }
-                let (outcome, consumed) = exec_impl(env, si);
-                memo.insert(k, si, consumed, outcome.clone());
-                outcome
-            }
-            None => exec_impl(env, si).0,
-        }
-    };
-    let run_case = |idx: usize| -> Case {
-        let (ci, si) = (idx / nscripts, idx % nscripts);
+    let explored = kernel.explore("seqref", contexts, nscripts, |ci, si| {
         let env = &contexts[ci];
-        if por && env.is_por_equivalent() {
-            return Case::Reduced;
-        }
         let script = &scripts[si];
-        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| -> Case {
-            if ccal_core::forensics::capturing() {
-                ccal_core::forensics::record(ccal_core::forensics::FailingCase {
-                    checker: "seqref",
-                    case_index: idx,
-                    ctx_index: ci,
-                    detail: format!("context #{ci}, script #{si}"),
-                    log: log.clone(),
-                    reason,
-                });
-            }
-            Case::Failed(Box::new(err))
+        let fail = |reason: String, log: &ccal_core::log::Log, err: LayerError| {
+            Case::failed(err, log.clone(), reason, format!("context #{ci}, script #{si}"))
         };
-        let (impl_log, impl_rets) = match run_impl(env, si) {
+        let (impl_log, impl_rets) = match kernel.run_shared(env, si, || exec_impl(env, si)) {
             ImplRun::Skipped => return Case::Skipped,
             ImplRun::Failed { log, err } => {
                 let reason = format!("impl machine failure: {err}");
@@ -361,33 +305,10 @@ pub fn check_sequence_refinement_tuned(
                 },
             );
         }
-        Case::Checked
-    };
-    let order = if prefix_share && workers > 1 && nscripts > 0 {
-        let keys: Vec<Option<&ccal_core::prefix::ScheduleKey>> =
-            contexts.iter().map(EnvContext::schedule_key).collect();
-        ccal_core::prefix::subtree_case_order(&keys, nscripts)
-    } else {
-        None
-    };
-    let slots = ccal_core::par::run_cases_ordered(
-        contexts.len() * nscripts,
-        workers,
-        order.as_deref(),
-        run_case,
-        |c| matches!(c, Case::Failed(_)),
-    );
-    let mut cases_checked = 0;
-    let mut cases_skipped = 0;
-    let mut cases_reduced = 0;
-    for slot in slots {
-        match slot {
-            None => break,
-            Some(Case::Checked) => cases_checked += 1,
-            Some(Case::Skipped) => cases_skipped += 1,
-            Some(Case::Reduced) => cases_reduced += 1,
-            Some(Case::Failed(e)) => return Err(*e),
-        }
+        Case::Checked(())
+    });
+    if let Some(e) = explored.failure {
+        return Err(e);
     }
     Ok(Obligation {
         rule: Rule::IfaceSim,
@@ -398,9 +319,9 @@ pub fn check_sequence_refinement_tuned(
             spec_iface.name,
             scripts.len()
         ),
-        cases_checked,
-        cases_skipped,
-        cases_reduced,
+        cases_checked: explored.cases_checked,
+        cases_skipped: explored.cases_skipped,
+        cases_reduced: explored.cases_reduced,
     })
 }
 

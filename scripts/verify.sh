@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
-# parallel-vs-serial, POR, prefix-sharing, and bytecode-tier differential
-# suites (each optimization both on and under its CCAL_POR=0 /
-# CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 / CCAL_BYTECODE=0 escape
-# hatch), the engine regression tests, the full workspace tests (on both
+# parallel-vs-serial, POR, prefix-sharing, exploration-kernel, and
+# bytecode-tier differential suites (each optimization both on and under
+# its CCAL_POR=0 / CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 /
+# CCAL_BYTECODE=0 escape hatch; the kernel differential also reruns under
+# the obsolete CCAL_KERNEL=0 hatch), the engine regression tests, the full workspace tests (on both
 # execution tiers), and criterion-free benchmark smoke runs including the
 # B5 (whole-prefix), B5d (query-point snapshot), and B6 (compiled ClightX
 # bytecode VM) step-ratio gates. Everything here works without network
@@ -37,6 +38,12 @@ CCAL_PREFIX_DEEP=0 cargo test -q --test prefix_differential
 
 echo "== differential: fork-vs-fresh snapshot resume (all snapshots x agreeing contexts) =="
 cargo test -q --test fork_differential
+
+echo "== differential: unified exploration kernel (all five checkers, ticket + qlock stacks) =="
+cargo test -q --test kernel_differential
+
+echo "== differential: kernel rerun under the obsolete escape hatch (CCAL_KERNEL=0 warns, stays on) =="
+CCAL_KERNEL=0 cargo test -q --test kernel_differential
 
 echo "== differential: bytecode VM vs interpreter (random programs, proptest) =="
 cargo test -q -p ccal-clightx --test bytecode_differential
