@@ -129,6 +129,31 @@ pub fn compositional_row_tuned(schedule_len: usize, workers: usize) -> ScalingRo
     }
 }
 
+/// The caveat line appended to every wall-clock scaling table when the
+/// host cannot actually run workers in parallel: with one hardware
+/// thread the `workers > 1` engine time-slices on a single core, so
+/// serial-vs-parallel wall-clock ratios measure scheduler overhead, not
+/// scaling. The step-counter metrics (atom-steps, primitive steps,
+/// memo hits) are host-independent and remain meaningful.
+pub fn parallelism_caveat() -> Option<String> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (threads <= 1).then(|| {
+        format!(
+            "note: host reports {threads} hardware thread(s) — parallel-vs-serial \
+             wall-clock scaling numbers are NOT meaningful on this machine; \
+             trust the step-counter columns, which are host-independent"
+        )
+    })
+}
+
+/// Appends [`parallelism_caveat`] (when it applies) to a rendered table.
+fn push_caveat(out: &mut String) {
+    if let Some(caveat) = parallelism_caveat() {
+        out.push_str(&caveat);
+        out.push('\n');
+    }
+}
+
 /// Renders the comparison for a family of schedule lengths.
 pub fn render_scaling(lens: &[usize]) -> String {
     use std::fmt::Write as _;
@@ -161,6 +186,7 @@ pub fn render_scaling(lens: &[usize]) -> String {
             speedup
         );
     }
+    push_caveat(&mut out);
     out
 }
 
@@ -323,6 +349,7 @@ pub fn render_por(lens: &[usize]) -> String {
             row.parallel_por,
         );
     }
+    push_caveat(&mut out);
     out
 }
 
@@ -450,6 +477,7 @@ pub fn render_por_widened(lens: &[usize]) -> String {
             row.parallel_por,
         );
     }
+    push_caveat(&mut out);
     out
 }
 
@@ -665,6 +693,7 @@ pub fn render_prefix_rows(rows: &[PrefixRow]) -> String {
             row.serial_deep,
         );
     }
+    push_caveat(&mut out);
     out
 }
 

@@ -1,0 +1,65 @@
+//! The thin client: one connection, one request, one response.
+
+use std::io;
+
+use crate::proto::{read_msg, write_msg, Addr, Conn, Msg, VERSION};
+use crate::spec::{CertRequest, CertResponse};
+
+fn proto_err(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn open(addr: &Addr) -> io::Result<Conn> {
+    let mut conn = Conn::connect(addr)?;
+    write_msg(
+        &mut conn,
+        &Msg::Hello {
+            role: "client".into(),
+            version: VERSION,
+        },
+    )?;
+    Ok(conn)
+}
+
+/// Sends one certification request and waits for the verdict.
+///
+/// # Errors
+///
+/// Transport failures, daemon-side errors (unknown stack, front-end
+/// failure), protocol confusion.
+pub fn certify(addr: &Addr, req: &CertRequest) -> io::Result<CertResponse> {
+    let mut conn = open(addr)?;
+    write_msg(&mut conn, &Msg::Certify(req.clone()))?;
+    match read_msg(&mut conn)? {
+        Msg::Result(resp) => Ok(resp),
+        Msg::Error { msg } => Err(proto_err(format!("daemon error: {msg}"))),
+        other => Err(proto_err(format!("unexpected reply: {other:?}"))),
+    }
+}
+
+/// Pings the daemon (readiness probe).
+///
+/// # Errors
+///
+/// Transport failures or a non-pong reply.
+pub fn ping(addr: &Addr) -> io::Result<()> {
+    let mut conn = open(addr)?;
+    write_msg(&mut conn, &Msg::Ping)?;
+    match read_msg(&mut conn)? {
+        Msg::Pong => Ok(()),
+        other => Err(proto_err(format!("unexpected reply: {other:?}"))),
+    }
+}
+
+/// Asks the daemon to exit.
+///
+/// # Errors
+///
+/// Transport failures.
+pub fn shutdown(addr: &Addr) -> io::Result<()> {
+    let mut conn = open(addr)?;
+    write_msg(&mut conn, &Msg::Shutdown)?;
+    // The ack is best-effort: the daemon may exit before replying.
+    let _ = read_msg(&mut conn);
+    Ok(())
+}

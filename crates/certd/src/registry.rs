@@ -1,0 +1,566 @@
+//! The stack registry: which certification obligations make up each
+//! known layer stack, how each is content-fingerprinted, and how one
+//! leased window of an obligation's exploration grid is run.
+//!
+//! A **unit** is one `check_prim_refinement` obligation of a stack's
+//! Fig. 9 pipeline — exactly the decomposition `check_fun` /
+//! `check_iface_refinement` iterate in process, in the same (BTreeMap)
+//! primitive order, so unit-by-unit results fold back into the same
+//! verdict, the same per-obligation case accounting and the same first
+//! failure as `certify_ticket_stack` / `certify_qlock`. The zero-case
+//! calculus steps (`weaken`, `vcomp`) contribute no units.
+//!
+//! Units are the granularity of the certificate store and of warm memo
+//! state; leased *windows* of a unit's flat case grid are the
+//! granularity of shard work.
+
+use std::sync::{Arc, Mutex};
+
+use ccal_core::contexts::ContextGen;
+use ccal_core::env::EnvContext;
+use ccal_core::fingerprint::{ContentHash, ContentHasher};
+use ccal_core::id::{Loc, Pid};
+use ccal_core::layer::LayerInterface;
+use ccal_core::prefix;
+use ccal_core::sim::{check_prim_refinement, SimOptions, SimRelation, SimWarm};
+use ccal_core::strategy::ScratchPlayer;
+use ccal_core::val::Val;
+use ccal_objects::buggy;
+use ccal_objects::qlock;
+use ccal_objects::ticket;
+
+use crate::proto::{ChunkReport, Lease};
+use crate::spec::CertParams;
+
+/// The focused participant of every registry obligation.
+const PID: Pid = Pid(0);
+/// The ticket lock location (mirrors the §2 walkthrough and tests).
+const TICKET_B: Loc = Loc(0);
+/// The queuing lock location (mirrors the Fig. 11 tests).
+const QLOCK_L: Loc = Loc(4);
+
+/// Stacks the service can certify.
+pub fn known_stacks() -> &'static [&'static str] {
+    &["ticket", "qlock", "scratch"]
+}
+
+/// A unit's public identity: name, content fingerprint, grid size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitDef {
+    /// Unit name, unique within the stack.
+    pub name: String,
+    /// Content hash over everything the verdict depends on.
+    pub fingerprint: ContentHash,
+    /// Flat grid size (`contexts × argument vectors`), the leaseable
+    /// index space.
+    pub ncases: usize,
+}
+
+/// The outcome of running one unit (or one window of it).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnitOutcome {
+    /// Cases explored.
+    pub cases_checked: usize,
+    /// Cases skipped by dedup.
+    pub cases_skipped: usize,
+    /// Cases pruned by POR.
+    pub cases_reduced: usize,
+    /// Rendered counterexample (index-least in the window), if any.
+    pub failure: Option<String>,
+}
+
+/// How a unit's bounded context family is generated. Building contexts
+/// is also where POR grid marking and the prefix-sharing family are
+/// pinned, so the same spec must be used by coordinator and shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxSpec {
+    /// Two pids; pid 1 plays the low-level ticket contender.
+    TicketLow,
+    /// Two pids; pid 1 plays the atomic `foo` client contender.
+    TicketAtomic,
+    /// Two pids; pid 1 plays the queuing-lock contender.
+    Qlock,
+    /// Three pids; pids 1 and 2 push to the scratch locations the buggy
+    /// `op` strategy leaks.
+    Scratch,
+}
+
+impl CtxSpec {
+    fn build(self, params: &CertParams, family: Option<u64>) -> Vec<EnvContext> {
+        let gen = match self {
+            CtxSpec::TicketLow => ContextGen::new(vec![Pid(0), Pid(1)]).with_player(
+                Pid(1),
+                Arc::new(ticket::TicketEnvPlayer::new(Pid(1), TICKET_B, params.rounds)),
+            ),
+            CtxSpec::TicketAtomic => ContextGen::new(vec![Pid(0), Pid(1)]).with_player(
+                Pid(1),
+                Arc::new(ticket::FooEnvPlayer::new(Pid(1), TICKET_B, params.rounds)),
+            ),
+            CtxSpec::Qlock => ContextGen::new(vec![Pid(0), Pid(1)]).with_player(
+                Pid(1),
+                Arc::new(qlock::QlockEnvPlayer::new(Pid(1), QLOCK_L, params.rounds)),
+            ),
+            CtxSpec::Scratch => ContextGen::new(vec![Pid(0), Pid(1), Pid(2)])
+                .with_player(Pid(1), Arc::new(ScratchPlayer::new(Pid(1), buggy::SCRATCH_A)))
+                .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), buggy::SCRATCH_B))),
+        };
+        // `with_family` must stay the *last* builder call: the structural
+        // setters re-key the family to keep accidental cross-family memo
+        // aliasing impossible, and here the family is deliberately pinned
+        // to the unit fingerprint for warm cross-request sharing.
+        let gen = gen
+            .with_schedule_len(params.schedule_len)
+            .with_por(params.por);
+        match family {
+            Some(f) => gen.with_family(f),
+            None => gen,
+        }
+        .contexts()
+    }
+
+    fn describe(self, h: &mut ContentHasher, params: &CertParams) {
+        h.section("contexts");
+        let (kind, pids, loc) = match self {
+            CtxSpec::TicketLow => ("ticket-low", 2u64, u64::from(TICKET_B.0)),
+            CtxSpec::TicketAtomic => ("ticket-atomic", 2, u64::from(TICKET_B.0)),
+            CtxSpec::Qlock => ("qlock", 2, u64::from(QLOCK_L.0)),
+            CtxSpec::Scratch => ("scratch", 3, u64::from(buggy::SCRATCH_A.0)),
+        };
+        h.str("ctx.kind", kind);
+        h.u64("ctx.pids", pids);
+        h.u64("ctx.loc", loc);
+        h.u64("ctx.rounds", params.rounds);
+        h.usize("ctx.schedule_len", params.schedule_len);
+        h.bool("ctx.por", params.por);
+    }
+}
+
+/// A fully resolved obligation.
+struct Unit {
+    name: String,
+    lower: LayerInterface,
+    upper: LayerInterface,
+    prim: String,
+    relation: SimRelation,
+    ctx: CtxSpec,
+    args: Vec<Vec<Val>>,
+    setup: Vec<(String, Vec<Val>)>,
+    /// The ClightX sources whose edit invalidates this unit (spec-only
+    /// units carry none).
+    sources: Vec<(&'static str, &'static str)>,
+}
+
+fn front_end(name: &str, src: &str) -> Result<ccal_core::module::Module, String> {
+    ccal_clightx::clightx_module(name, src)
+        .map_err(|e| format!("{name} front-end: {e:?}"))
+}
+
+/// Resolves a stack into its obligation list, in pipeline order.
+fn units(stack: &str, params: &CertParams) -> Result<Vec<Unit>, String> {
+    let _ = params;
+    let mut out = Vec::new();
+    match stack {
+        "ticket" => {
+            ticket::declare_client_footprints();
+            let m1 = front_end("M1", ticket::M1_SOURCE)?;
+            let m2 = front_end("M2", ticket::M2_SOURCE)?;
+            let l0 = ticket::l0_interface();
+            let low = ticket::lock_low_interface();
+            let lock = ticket::lock_interface();
+            let l2 = ticket::l2_interface();
+            let ext1 = m1.install(&l0).map_err(|e| format!("M1 install: {e:?}"))?;
+            let ext2 = m2.install(&lock).map_err(|e| format!("M2 install: {e:?}"))?;
+            let lock_args = vec![vec![Val::Loc(TICKET_B)]];
+            let workload = |prim: &str| {
+                if matches!(prim, "acq" | "rel" | "foo") {
+                    lock_args.clone()
+                } else {
+                    vec![Vec::new()]
+                }
+            };
+            // Fun-lift: L0 ⊢_id M1 : L′1, one unit per overlay primitive.
+            for prim in low.prim_names() {
+                out.push(Unit {
+                    name: format!("funlift/{prim}"),
+                    lower: ext1.clone(),
+                    upper: low.clone(),
+                    prim: prim.to_owned(),
+                    relation: SimRelation::identity(),
+                    ctx: CtxSpec::TicketLow,
+                    args: workload(prim),
+                    setup: Vec::new(),
+                    sources: vec![("M1", ticket::M1_SOURCE)],
+                });
+            }
+            // Log-lift: L′1 ≤_R1 L1 (spec-to-spec; no module source).
+            for prim in lock.prim_names() {
+                out.push(Unit {
+                    name: format!("loglift/{prim}"),
+                    lower: low.clone(),
+                    upper: lock.clone(),
+                    prim: prim.to_owned(),
+                    relation: ticket::r1_relation(),
+                    ctx: CtxSpec::TicketLow,
+                    args: workload(prim),
+                    setup: Vec::new(),
+                    sources: Vec::new(),
+                });
+            }
+            // Client layer: L1 ⊢_R2 M2 : L2. (`weaken`/`vcomp` check
+            // nothing — zero-case calculus steps.)
+            for prim in l2.prim_names() {
+                out.push(Unit {
+                    name: format!("client/{prim}"),
+                    lower: ext2.clone(),
+                    upper: l2.clone(),
+                    prim: prim.to_owned(),
+                    relation: ticket::r2_relation(),
+                    ctx: CtxSpec::TicketAtomic,
+                    args: workload(prim),
+                    setup: Vec::new(),
+                    sources: vec![("M2", ticket::M2_SOURCE)],
+                });
+            }
+        }
+        "qlock" => {
+            qlock::declare_qlock_footprints();
+            let m = front_end("Mql", qlock::QLOCK_SOURCE)?;
+            let under = qlock::qlock_underlay();
+            let over = qlock::qlock_overlay();
+            let ext = m.install(&under).map_err(|e| format!("Mql install: {e:?}"))?;
+            let args = vec![vec![Val::Loc(QLOCK_L)]];
+            for prim in over.prim_names() {
+                let setup = if prim == "rel_q" {
+                    vec![("acq_q".to_owned(), vec![Val::Loc(QLOCK_L)])]
+                } else {
+                    Vec::new()
+                };
+                out.push(Unit {
+                    name: prim.to_owned(),
+                    lower: ext.clone(),
+                    upper: over.clone(),
+                    prim: prim.to_owned(),
+                    relation: qlock::r_ql_relation(),
+                    ctx: CtxSpec::Qlock,
+                    args: args.clone(),
+                    setup,
+                    sources: vec![("Mql", qlock::QLOCK_SOURCE)],
+                });
+            }
+        }
+        "scratch" => {
+            // The known-failing fixture: the lower `op` leaks observable
+            // environment state, so this unit *must* produce the
+            // index-least counterexample — the service's first-failure
+            // and shard-kill semantics are tested against it.
+            out.push(Unit {
+                name: "op".to_owned(),
+                lower: buggy::scratch_sensitive_lower(),
+                upper: buggy::scratch_sensitive_upper(),
+                prim: "op".to_owned(),
+                relation: SimRelation::identity(),
+                ctx: CtxSpec::Scratch,
+                args: vec![Vec::new()],
+                setup: Vec::new(),
+                sources: Vec::new(),
+            });
+        }
+        other => return Err(format!("unknown stack `{other}` (known: {:?})", known_stacks())),
+    }
+    Ok(out)
+}
+
+fn sim_options(
+    params: &CertParams,
+    unit: &Unit,
+    window: Option<(usize, usize)>,
+    warm: Option<&SimWarm>,
+) -> SimOptions {
+    let mut sim = SimOptions::default()
+        .with_workers(params.workers)
+        .with_dedup(params.dedup)
+        .with_por(params.por)
+        .with_prefix_share(params.prefix_share)
+        .with_deep_share(params.deep_share)
+        .with_bytecode(params.bytecode);
+    sim.setup = unit.setup.clone();
+    if let Some((lo, hi)) = window {
+        sim = sim.with_window(lo, hi);
+    }
+    if let Some(w) = warm {
+        sim = sim.with_warm(w.clone());
+    }
+    sim
+}
+
+/// Certificate identity: everything the verdict is a function of. The
+/// run-mechanical knobs (`window`, `warm`) are deliberately excluded —
+/// they must not change verdicts, and the differential suite pins that.
+fn unit_fingerprint(stack: &str, unit: &Unit, params: &CertParams) -> ContentHash {
+    let sim = sim_options(params, unit, None, None);
+    let mut h = ContentHasher::new();
+    h.section("ccal.cert.unit.v1");
+    h.str("stack", stack);
+    h.str("unit", &unit.name);
+    h.usize("sources", unit.sources.len());
+    for (name, src) in &unit.sources {
+        h.str("module.name", name);
+        h.str("module.source", src);
+    }
+    h.interface("lower", &unit.lower);
+    h.interface("upper", &unit.upper);
+    h.str("prim", &unit.prim);
+    h.str("relation", unit.relation.name());
+    h.u64("pid", u64::from(PID.0));
+    h.usize("args", unit.args.len());
+    for argv in &unit.args {
+        h.usize("argv", argv.len());
+        for v in argv {
+            h.val("arg", v);
+        }
+    }
+    h.usize("setup", unit.setup.len());
+    for (prim, argv) in &unit.setup {
+        h.str("setup.prim", prim);
+        h.usize("setup.args", argv.len());
+        for v in argv {
+            h.val("setup.arg", v);
+        }
+    }
+    unit.ctx.describe(&mut h, params);
+    h.section("sim_options");
+    h.u64("opt.fuel", sim.fuel);
+    h.bool("opt.compare_rets", sim.compare_rets);
+    h.usize("opt.workers", sim.workers);
+    h.bool("opt.dedup", sim.dedup);
+    h.bool("opt.por", sim.por);
+    h.bool("opt.prefix_share", sim.prefix_share);
+    h.bool("opt.deep_share", sim.deep_share);
+    h.bool("opt.bytecode", sim.bytecode);
+    h.usize("opt.snapshot_cap", sim.snapshot_cap);
+    h.usize("opt.upper_cache_cap", sim.upper_cache_cap);
+    h.finish()
+}
+
+/// The stack's units, in pipeline order, with fingerprints and grid
+/// sizes.
+///
+/// # Errors
+///
+/// Unknown stacks and ClightX front-end failures.
+pub fn stack_units(stack: &str, params: &CertParams) -> Result<Vec<UnitDef>, String> {
+    units(stack, params)?
+        .iter()
+        .map(|u| {
+            let ncases = u.ctx.build(params, None).len() * u.args.len();
+            Ok(UnitDef {
+                name: u.name.clone(),
+                fingerprint: unit_fingerprint(stack, u, params),
+                ncases,
+            })
+        })
+        .collect()
+}
+
+/// Runs one unit, optionally restricted to the half-open flat-index
+/// `window` and/or seeded with `warm` memo state. Window indices are
+/// whole-grid positions, so case strings and failure evidence are
+/// identical to an unwindowed run restricted to those cases.
+///
+/// # Errors
+///
+/// Unknown stack/unit and front-end failures. A simulation
+/// counterexample is NOT an error — it comes back as
+/// [`UnitOutcome::failure`].
+pub fn run_unit(
+    stack: &str,
+    unit_name: &str,
+    params: &CertParams,
+    window: Option<(usize, usize)>,
+    warm: Option<&SimWarm>,
+) -> Result<UnitOutcome, String> {
+    let all = units(stack, params)?;
+    let unit = all
+        .iter()
+        .find(|u| u.name == unit_name)
+        .ok_or_else(|| format!("unknown unit `{unit_name}` in stack `{stack}`"))?;
+    let fp = unit_fingerprint(stack, unit, params);
+    let contexts = unit.ctx.build(params, Some(fp.low64()));
+    let sim = sim_options(params, unit, window, warm);
+    match check_prim_refinement(
+        &unit.lower,
+        &unit.prim,
+        &unit.upper,
+        &unit.prim,
+        &unit.relation,
+        PID,
+        &contexts,
+        &unit.args,
+        &sim,
+    ) {
+        Ok(ev) => Ok(UnitOutcome {
+            cases_checked: ev.cases_checked,
+            cases_skipped: ev.cases_skipped,
+            cases_reduced: ev.cases_reduced,
+            failure: None,
+        }),
+        Err(failure) => Ok(UnitOutcome {
+            failure: Some(failure.to_string()),
+            ..UnitOutcome::default()
+        }),
+    }
+}
+
+/// Warm memo state keyed by unit fingerprint, shared by a daemon or
+/// shard process across requests. Keying by *content* makes the reuse
+/// sound: equal fingerprint implies equal checked computation, so a memo
+/// entry can only be hit by a re-run of the identical unit.
+#[derive(Debug, Default)]
+pub struct WarmMap {
+    map: Mutex<std::collections::HashMap<String, SimWarm>>,
+}
+
+impl WarmMap {
+    /// A fresh, empty map.
+    pub fn new() -> WarmMap {
+        WarmMap::default()
+    }
+
+    /// The warm state for `fingerprint`, created on first use. `SimWarm`
+    /// clones share their caches, so the returned handle keeps feeding
+    /// the map's entry.
+    pub fn get(&self, fingerprint: &str) -> SimWarm {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(fingerprint.to_owned())
+            .or_default()
+            .clone()
+    }
+}
+
+/// Executes one lease and packages the accounting a shard (or the
+/// coordinator's local runner) reports back: kernel case counts, the
+/// process-global step-counter deltas, and — when warm — the warm-state
+/// hit/evict deltas.
+pub fn run_lease(lease: &Lease, warm: Option<&SimWarm>) -> ChunkReport {
+    let steps0 = prefix::steps_total();
+    let shared0 = prefix::shared_total();
+    let deep0 = prefix::deep_total();
+    let prim0 = prefix::prim_steps_total();
+    let warm0 = warm.map(SimWarm::stats);
+    let mut report = ChunkReport::default();
+    match run_unit(
+        &lease.stack,
+        &lease.unit,
+        &lease.params,
+        Some((lease.lo, lease.hi)),
+        warm,
+    ) {
+        Ok(outcome) => {
+            report.cases_checked = outcome.cases_checked;
+            report.cases_skipped = outcome.cases_skipped;
+            report.cases_reduced = outcome.cases_reduced;
+            report.failure = outcome.failure;
+        }
+        Err(e) => report.error = Some(e),
+    }
+    report.steps = prefix::steps_total().saturating_sub(steps0);
+    report.shared = prefix::shared_total().saturating_sub(shared0);
+    report.deep = prefix::deep_total().saturating_sub(deep0);
+    report.prim_steps = prefix::prim_steps_total().saturating_sub(prim0);
+    if let (Some(w), Some(w0)) = (warm, warm0) {
+        let ws = w.stats();
+        report.memo_entries = ws.memo_entries;
+        report.snapshot_entries = ws.snapshot_entries;
+        report.snapshot_hits = ws.snapshot_hits.saturating_sub(w0.snapshot_hits);
+        report.snapshot_evictions = ws.snapshot_evictions.saturating_sub(w0.snapshot_evictions);
+        report.upper_hits = ws.upper_hits.saturating_sub(w0.upper_hits);
+        report.upper_evictions = ws.upper_evictions.saturating_sub(w0.upper_evictions);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_resolve_with_distinct_stable_fingerprints() {
+        let params = CertParams::default();
+        let ticket = stack_units("ticket", &params).expect("ticket resolves");
+        let names: Vec<&str> = ticket.iter().map(|u| u.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "funlift/acq",
+                "funlift/f",
+                "funlift/g",
+                "funlift/rel",
+                "loglift/acq",
+                "loglift/f",
+                "loglift/g",
+                "loglift/rel",
+                "client/foo",
+            ],
+            "obligation order mirrors the in-process pipeline"
+        );
+        let mut fps: Vec<_> = ticket.iter().map(|u| u.fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), ticket.len(), "unit fingerprints are distinct");
+        assert_eq!(
+            ticket,
+            stack_units("ticket", &params).expect("ticket resolves again"),
+            "fingerprints are deterministic"
+        );
+        assert!(ticket.iter().all(|u| u.ncases > 0));
+        assert!(stack_units("nope", &params).is_err());
+    }
+
+    #[test]
+    fn parameter_changes_dirty_the_fingerprint() {
+        let base = CertParams::default();
+        let mut longer = base.clone();
+        longer.schedule_len += 1;
+        let a = stack_units("qlock", &base).expect("resolves");
+        let b = stack_units("qlock", &longer).expect("resolves");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_ne!(x.fingerprint, y.fingerprint, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn windowed_runs_sum_to_the_whole_grid() {
+        let params = CertParams::default();
+        let def = &stack_units("ticket", &params).expect("resolves")[0];
+        let whole = run_unit("ticket", "funlift/acq", &params, None, None).expect("runs");
+        assert_eq!(whole.failure, None);
+        let mid = def.ncases / 2;
+        let left =
+            run_unit("ticket", "funlift/acq", &params, Some((0, mid)), None).expect("runs");
+        let right = run_unit("ticket", "funlift/acq", &params, Some((mid, def.ncases)), None)
+            .expect("runs");
+        assert_eq!(
+            (
+                left.cases_checked + right.cases_checked,
+                left.cases_skipped + right.cases_skipped,
+                left.cases_reduced + right.cases_reduced,
+            ),
+            (whole.cases_checked, whole.cases_skipped, whole.cases_reduced),
+            "disjoint windows partition the whole-grid accounting"
+        );
+    }
+
+    #[test]
+    fn the_scratch_stack_fails_with_rendered_evidence() {
+        let params = CertParams::default();
+        let out = run_unit("scratch", "op", &params, None, None).expect("runs");
+        let failure = out.failure.expect("scratch is the known-failing fixture");
+        assert!(
+            failure.contains("simulation") && failure.contains("context #"),
+            "rendered counterexample names the case: {failure}"
+        );
+    }
+}

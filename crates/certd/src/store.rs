@@ -1,0 +1,225 @@
+//! The content-addressed certificate store.
+//!
+//! One record per certification unit, keyed by the unit's
+//! [`ContentHash`] (sources + interfaces + footprints + relation +
+//! context family + full `SimOptions`). Records are held in memory and,
+//! when the daemon is given a store directory, mirrored to
+//! `<fingerprint>.json` files that survive restarts. Failing verdicts
+//! are stored too: re-requesting a known-bad unit replays its rendered
+//! counterexample with zero exploration steps.
+//!
+//! The `CCAL_CERTD_CACHE=0` escape hatch disables *hits* (every lookup
+//! misses) without disabling writes, so a suspect cache can be bypassed
+//! and repopulated in one run.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ccal_core::envflag;
+use ccal_core::fingerprint::ContentHash;
+use ccal_forensics::json::{self, Json};
+
+use crate::spec::{get_opt_str, get_str, get_u64, get_usize, int, opt_str};
+
+/// On-disk record format version.
+const STORE_VERSION: u64 = 1;
+
+/// A stored unit verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredUnit {
+    /// Unit name at store time (diagnostic only; the key is the hash).
+    pub unit: String,
+    /// Cases explored.
+    pub cases_checked: usize,
+    /// Cases skipped by dedup.
+    pub cases_skipped: usize,
+    /// Cases pruned by POR.
+    pub cases_reduced: usize,
+    /// Rendered counterexample, if the unit failed.
+    pub failure: Option<String>,
+}
+
+impl StoredUnit {
+    fn to_json(&self, fp: ContentHash) -> Json {
+        Json::obj([
+            ("version", int(STORE_VERSION)),
+            ("fingerprint", Json::Str(fp.to_string())),
+            ("unit", Json::Str(self.unit.clone())),
+            ("cases_checked", int(self.cases_checked as u64)),
+            ("cases_skipped", int(self.cases_skipped as u64)),
+            ("cases_reduced", int(self.cases_reduced as u64)),
+            ("failure", opt_str(&self.failure)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<(ContentHash, StoredUnit), String> {
+        if get_u64(j, "version")? != STORE_VERSION {
+            return Err("unsupported store record version".into());
+        }
+        let fp = ContentHash::parse(&get_str(j, "fingerprint")?)
+            .ok_or("bad fingerprint in store record")?;
+        Ok((
+            fp,
+            StoredUnit {
+                unit: get_str(j, "unit")?,
+                cases_checked: get_usize(j, "cases_checked")?,
+                cases_skipped: get_usize(j, "cases_skipped")?,
+                cases_reduced: get_usize(j, "cases_reduced")?,
+                failure: get_opt_str(j, "failure")?,
+            },
+        ))
+    }
+}
+
+/// The certificate store: an in-memory map, optionally mirrored to a
+/// directory of `<fingerprint>.json` records.
+#[derive(Debug)]
+pub struct CertStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<ContentHash, StoredUnit>>,
+}
+
+impl CertStore {
+    /// A purely in-memory store (dies with the daemon).
+    pub fn in_memory() -> CertStore {
+        CertStore {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A persistent store rooted at `dir`; loads every parseable record
+    /// already present (unreadable files are skipped, not fatal — the
+    /// worst case is a re-check).
+    ///
+    /// # Errors
+    ///
+    /// Failure to create the directory.
+    pub fn at_dir(dir: PathBuf) -> io::Result<CertStore> {
+        fs::create_dir_all(&dir)?;
+        let mut mem = HashMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(value) = json::parse(&text) else {
+                continue;
+            };
+            if let Ok((fp, unit)) = StoredUnit::from_json(&value) {
+                mem.insert(fp, unit);
+            }
+        }
+        Ok(CertStore {
+            dir: Some(dir),
+            mem: Mutex::new(mem),
+        })
+    }
+
+    /// Whether lookups may hit (the `CCAL_CERTD_CACHE` hatch; writes are
+    /// unaffected). Unlike the engine's `CCAL_*` flags this one is read
+    /// on every lookup, not cached at first use: it is an operational
+    /// hatch for a long-running daemon, so flipping the variable must
+    /// not require a restart.
+    pub fn hits_enabled() -> bool {
+        match std::env::var("CCAL_CERTD_CACHE") {
+            Ok(raw) => envflag::parse_bool(&raw).unwrap_or_else(|| {
+                envflag::warn_ignored("CCAL_CERTD_CACHE", &raw, "0 disables cache hits");
+                true
+            }),
+            Err(_) => true,
+        }
+    }
+
+    /// The stored verdict for `fp`, unless hits are disabled.
+    pub fn get(&self, fp: ContentHash) -> Option<StoredUnit> {
+        if !Self::hits_enabled() {
+            return None;
+        }
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).get(&fp).cloned()
+    }
+
+    /// Records a verdict (in memory, and on disk when persistent). Disk
+    /// writes go through a temp file + rename so a concurrent reader
+    /// never sees a torn record.
+    pub fn put(&self, fp: ContentHash, unit: StoredUnit) {
+        if let Some(dir) = &self.dir {
+            let body = unit.to_json(fp).pretty();
+            let tmp = dir.join(format!(".{fp}.tmp"));
+            let final_path = dir.join(format!("{fp}.json"));
+            if fs::write(&tmp, body).is_ok() {
+                let _ = fs::rename(&tmp, &final_path);
+            }
+        }
+        self.mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, unit);
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> ContentHash {
+        ContentHash(n)
+    }
+
+    fn sample(unit: &str) -> StoredUnit {
+        StoredUnit {
+            unit: unit.into(),
+            cases_checked: 10,
+            cases_skipped: 2,
+            cases_reduced: 3,
+            failure: Some("simulation fails on context #1".into()),
+        }
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = CertStore::in_memory();
+        assert!(store.is_empty());
+        store.put(fp(42), sample("op"));
+        assert_eq!(store.get(fp(42)), Some(sample("op")));
+        assert_eq!(store.get(fp(43)), None);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("ccal-certd-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = CertStore::at_dir(dir.clone()).expect("creates");
+            store.put(fp(7), sample("funlift/acq"));
+            store.put(
+                fp(8),
+                StoredUnit {
+                    failure: None,
+                    ..sample("client/foo")
+                },
+            );
+        }
+        let reopened = CertStore::at_dir(dir.clone()).expect("reopens");
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(fp(7)), Some(sample("funlift/acq")));
+        assert_eq!(reopened.get(fp(8)).expect("present").failure, None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

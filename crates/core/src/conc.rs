@@ -317,7 +317,7 @@ impl ConcurrentMachine {
         }
         let stall_limit: u64 = 64 * (self.focused.len() as u64 + 4);
         let progress = (
-            st.log.as_slice().iter().filter(|e| !e.is_sched()).count(),
+            st.log.iter().filter(|e| !e.is_sched()).count(),
             st.players.values().map(|p| p.rets.len()).sum::<usize>(),
             st.players.values().filter(|p| p.done).count(),
         );

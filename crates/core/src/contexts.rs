@@ -109,6 +109,20 @@ impl ContextGen {
         self
     }
 
+    /// Pins the prefix-sharing family id instead of the process-local
+    /// counter value, so *separately constructed* generators — across
+    /// requests or processes — mint contexts whose schedule keys can share
+    /// memoized runs. The caller asserts that every generator pinned to
+    /// `family` is configured identically (domain, players, schedule
+    /// length, fuel): the certification service derives the family from
+    /// the unit's content fingerprint, which covers exactly those inputs.
+    /// Call *last* — the other builder methods reset the family to a
+    /// fresh counter value.
+    pub fn with_family(mut self, family: u64) -> Self {
+        self.family = family;
+        self
+    }
+
     /// Total number of schedule prefixes before capping, saturating at
     /// `usize::MAX` when `|domain|^len` overflows (so huge configurations
     /// sample rather than panic or wrap).

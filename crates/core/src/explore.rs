@@ -98,6 +98,15 @@ pub struct ExploreOptions {
     /// Capacity cap on the query-point snapshot trie (deepest-first
     /// eviction, see [`crate::prefix::SnapshotTrie`]).
     pub snapshot_cap: usize,
+    /// Restrict exploration to the half-open flat-index range
+    /// `[lo, hi)` of the `ci·ninner+ii` grid. `None` explores the whole
+    /// grid. Per-case classification is a deterministic function of the
+    /// case index alone, so folding disjoint windows in ascending order
+    /// (discarding everything after the first failing window) yields the
+    /// same verdict, case accounting and index-least first failure as one
+    /// whole-grid exploration — this is what lets the certification
+    /// service lease grid chunks to shard processes.
+    pub window: Option<(usize, usize)>,
 }
 
 impl Default for ExploreOptions {
@@ -108,13 +117,14 @@ impl Default for ExploreOptions {
             prefix_share: crate::prefix::prefix_share_enabled(),
             deep_share: crate::prefix::prefix_deep_enabled(),
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
+            window: None,
         }
     }
 }
 
 impl ExploreOptions {
     /// The options the verifier checkers' `_tuned` variants expose:
-    /// explicit workers/POR/sharing, default snapshot cap.
+    /// explicit workers/POR/sharing, default snapshot cap, whole grid.
     pub fn tuned(workers: usize, por: bool, prefix_share: bool, deep_share: bool) -> Self {
         Self {
             workers,
@@ -122,6 +132,7 @@ impl ExploreOptions {
             prefix_share,
             deep_share,
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
+            window: None,
         }
     }
 }
@@ -192,26 +203,50 @@ pub struct Explored<D, E> {
 /// snapshot type `S` and a memoized outcome type `T`. See the module docs
 /// for the division of labor between the kernel and its clients.
 pub struct Kernel<S, T> {
-    memo: PrefixMemo<T>,
-    snapshots: SnapshotTrie<S>,
+    memo: std::sync::Arc<PrefixMemo<T>>,
+    snapshots: std::sync::Arc<SnapshotTrie<S>>,
     workers: usize,
     por: bool,
     share: bool,
     deep: bool,
+    window: Option<(usize, usize)>,
 }
 
 impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
-    /// Creates a kernel for one checker invocation.
+    /// Creates a kernel for one checker invocation, with fresh (cold)
+    /// memo and snapshot state.
     pub fn new(opts: &ExploreOptions) -> Self {
+        Self::with_state(
+            opts,
+            std::sync::Arc::new(PrefixMemo::new()),
+            std::sync::Arc::new(SnapshotTrie::new(opts.snapshot_cap)),
+        )
+    }
+
+    /// Creates a kernel over *caller-owned* memo and snapshot state, so a
+    /// long-running service can keep them warm across checker invocations.
+    /// Soundness requires that every invocation sharing the state checks
+    /// the same computation over the same schedule-key family: memo
+    /// entries are keyed by `(family, script prefix, inner index)` only,
+    /// so two different checks pinned to one family would read each
+    /// other's outcomes. The certification service keys families by the
+    /// unit's content fingerprint, which makes key collisions imply input
+    /// equality.
+    pub fn with_state(
+        opts: &ExploreOptions,
+        memo: std::sync::Arc<PrefixMemo<T>>,
+        snapshots: std::sync::Arc<SnapshotTrie<S>>,
+    ) -> Self {
         let _ = kernel_enabled();
         let share = opts.prefix_share;
         Self {
-            memo: PrefixMemo::new(),
-            snapshots: SnapshotTrie::new(opts.snapshot_cap),
+            memo,
+            snapshots,
             workers: opts.workers,
             por: opts.por,
             share,
             deep: share && opts.deep_share,
+            window: opts.window,
         }
     }
 
@@ -333,7 +368,17 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
         E: Send,
     {
         let total = contexts.len() * ninner;
-        let run_case = |idx: usize| -> Case<D, E> {
+        // The window restricts dispatch to `[lo, hi)` of the flat index
+        // space; indices keep their whole-grid values so case details,
+        // forensics indices and POR classification are identical to a
+        // whole-grid run.
+        let (lo, hi) = match self.window {
+            Some((a, b)) => (a.min(total), b.min(total).max(a.min(total))),
+            None => (0, total),
+        };
+        let span = hi - lo;
+        let run_case = |widx: usize| -> Case<D, E> {
+            let idx = lo + widx;
             let (ci, inner) = (idx / ninner, idx % ninner);
             let env = &contexts[ci];
             if self.por && env.is_por_equivalent() {
@@ -358,15 +403,17 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
         // With sharing on and several workers, claim the grid in
         // digit-reversed (subtree) order so each worker's chunk shares
         // long schedule prefixes — the memo then hits within a chunk
-        // instead of racing across chunks.
-        let order = if self.share && self.workers > 1 {
+        // instead of racing across chunks. Subtree order is computed over
+        // the whole grid, so it only applies to whole-grid explorations;
+        // a window run claims in plain index order.
+        let order = if self.share && self.workers > 1 && (lo, hi) == (0, total) {
             let keys: Vec<Option<&ScheduleKey>> =
                 contexts.iter().map(EnvContext::schedule_key).collect();
             crate::prefix::subtree_case_order(&keys, ninner)
         } else {
             None
         };
-        let slots = crate::par::run_cases_ordered(total, self.workers, order.as_deref(), run_case, |c| {
+        let slots = crate::par::run_cases_ordered(span, self.workers, order.as_deref(), run_case, |c| {
             matches!(c, Case::Failed(_))
         });
         let mut out = Explored {

@@ -78,6 +78,7 @@ pub mod env;
 pub mod envflag;
 pub mod event;
 pub mod explore;
+pub mod fingerprint;
 pub mod forensics;
 pub mod id;
 pub mod layer;

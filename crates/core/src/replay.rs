@@ -224,13 +224,16 @@ pub fn replay_atomic_lock(log: &Log, b: Loc) -> Result<Option<Pid>, ReplayError>
 /// (front first). A `deQ` of an empty queue is *not* stuck: the paper's
 /// `σ_deQ_t` returns `-1` for an empty queue.
 pub fn replay_atomic_queue(log: &Log, q: crate::id::QId) -> Vec<Val> {
-    replay_queue_events(log.as_slice(), q)
+    replay_queue_events(log.iter(), q)
 }
 
-/// Slice-level worker for [`replay_atomic_queue`], so prefix replays (e.g.
-/// [`deq_result`]) can fold over a sub-slice without materializing a
-/// prefix `Log`.
-fn replay_queue_events(events: &[Event], q: crate::id::QId) -> Vec<Val> {
+/// Event-stream worker for [`replay_atomic_queue`], so prefix replays (e.g.
+/// [`deq_result`]) can fold over a truncated iterator without materializing
+/// a prefix `Log`.
+fn replay_queue_events<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    q: crate::id::QId,
+) -> Vec<Val> {
     let mut items: Vec<Val> = Vec::new();
     for e in events {
         match &e.kind {
@@ -258,7 +261,7 @@ pub fn deq_result(log: &Log, at: usize) -> Val {
         EventKind::DeQ(q) => q,
         _ => panic!("deq_result called on non-deQ event {e}"),
     };
-    let items = replay_queue_events(&log.as_slice()[..at], q);
+    let items = replay_queue_events(log.iter().take(at), q);
     items.into_iter().next().unwrap_or(Val::Int(-1))
 }
 

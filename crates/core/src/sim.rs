@@ -400,6 +400,22 @@ pub struct SimOptions {
     /// bounded on huge grids while verdicts and evidence are unchanged —
     /// a miss merely re-runs the deterministic upper machine.
     pub upper_cache_cap: usize,
+    /// Restrict exploration to the half-open window `[lo, hi)` of the
+    /// flat `context·nargs+arg` case grid (see
+    /// [`crate::explore::ExploreOptions::window`]). `None` — the default —
+    /// explores the whole grid. Disjoint ascending windows fold to the
+    /// same verdict, case accounting and index-least first failure as a
+    /// whole-grid check; the certification service uses this to lease
+    /// grid chunks to shard processes.
+    pub window: Option<(usize, usize)>,
+    /// Caller-owned warm state ([`SimWarm`]) shared across checker
+    /// invocations: the prefix memo, query-point snapshot trie and
+    /// upper-run cache survive the call instead of being dropped with the
+    /// kernel. `None` — the default — runs cold. Soundness requires every
+    /// invocation sharing one handle to check the *same* computation over
+    /// the same schedule-key family; the certification service keys warm
+    /// handles (and families) by the unit's content fingerprint.
+    pub warm: Option<SimWarm>,
 }
 
 impl SimOptions {
@@ -421,6 +437,8 @@ impl Default for SimOptions {
             bytecode: crate::prefix::bytecode_enabled(),
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
             upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
+            window: None,
+            warm: None,
         }
     }
 }
@@ -482,6 +500,195 @@ impl SimOptions {
         self.upper_cache_cap = cap.max(1);
         self
     }
+
+    /// Restricts exploration to the flat case-index window `[lo, hi)`.
+    #[must_use]
+    pub fn with_window(mut self, lo: usize, hi: usize) -> Self {
+        self.window = Some((lo, hi));
+        self
+    }
+
+    /// Attaches caller-owned warm state shared across invocations.
+    #[must_use]
+    pub fn with_warm(mut self, warm: SimWarm) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+}
+
+/// The memoized outcome of a case's upper half — a deterministic function
+/// of the replayed abstract event sequence and the argument vector, which
+/// makes it memoizable across symmetric schedules. The memo is bounded
+/// with deepest-first eviction: entries are keyed at the length of the
+/// replayed sequence, so the long, unlikely-to-recur runs are dropped
+/// before the short ones many cases share.
+#[derive(Clone)]
+enum UpperRun {
+    Skipped,
+    Failed { reason: String, upper_log: Log },
+    Done { upper_log: Log, upper_ret: Val },
+}
+
+/// The memoized outcome of a case's lower half — a deterministic function
+/// of the schedule prefix the run consumes and the argument vector, which
+/// makes it shareable across contexts with a common consumed prefix via
+/// [`crate::prefix::PrefixMemo`]. Reasons deliberately omit the case
+/// description: the per-case wrapper re-attaches it.
+#[derive(Clone)]
+enum LowerRun {
+    Skipped,
+    Failed { lower_log: Log, reason: String },
+    Done { lower_log: Log, lower_ret: Val },
+}
+
+/// Mid-run snapshots of the lower machine, keyed by consumed schedule
+/// prefix in one [`crate::prefix::SnapshotTrie`]. Inner index 0 holds the
+/// setup phase (argument-independent): `Abort` for a setup that skipped
+/// or failed, `Setup` for an in-flight setup call captured at a query
+/// point, `PostSetup` for the machine after all setup calls. Inner index
+/// `1 + ai` holds the checked call for argument vector `ai`: `Call` at
+/// each of its query points and delivered environment turns, and `Return`
+/// at its return plus — with deep sharing on — at every slot of the
+/// trailing environment flush (the flush prefix is identical for every
+/// context agreeing on those slots, so deeper `Return` forks skip
+/// re-flushing it). With `deep_share` off only the phase boundaries
+/// (`Abort`/`PostSetup`/pre-flush `Return`) are stored; the query-point
+/// variants additionally need [`PrimRun::fork_run`].
+#[allow(clippy::large_enum_variant)]
+enum SimSnap {
+    Abort {
+        outcome: LowerRun,
+    },
+    Setup {
+        machine: LayerMachine,
+        run: Box<dyn PrimRun>,
+        call: usize,
+    },
+    PostSetup {
+        machine: LayerMachine,
+    },
+    Call {
+        machine: LayerMachine,
+        run: Box<dyn PrimRun>,
+    },
+    Return {
+        machine: LayerMachine,
+        lower_ret: Val,
+    },
+}
+
+impl crate::prefix::ForkSnapshot for SimSnap {
+    fn fork(&self) -> Option<Self> {
+        Some(match self {
+            SimSnap::Abort { outcome } => SimSnap::Abort {
+                outcome: outcome.clone(),
+            },
+            SimSnap::Setup { machine, run, call } => SimSnap::Setup {
+                machine: machine.fork(),
+                run: run.fork_run()?,
+                call: *call,
+            },
+            SimSnap::PostSetup { machine } => SimSnap::PostSetup {
+                machine: machine.fork(),
+            },
+            SimSnap::Call { machine, run } => SimSnap::Call {
+                machine: machine.fork(),
+                run: run.fork_run()?,
+            },
+            SimSnap::Return { machine, lower_ret } => SimSnap::Return {
+                machine: machine.fork(),
+                lower_ret: lower_ret.clone(),
+            },
+        })
+    }
+}
+
+/// Caller-owned warm exploration state for [`check_prim_refinement`]: the
+/// schedule-prefix memo, the query-point snapshot trie and the upper-run
+/// cache, kept alive across checker invocations instead of dropped with
+/// each call's kernel. A long-running certification service holds one
+/// handle per distinct check configuration (keyed by content
+/// fingerprint), so back-to-back certifications of the same unit share
+/// prefixes and replay memoized runs.
+///
+/// Sharing one handle between *different* checks is unsound: memo entries
+/// are keyed by `(schedule family, script prefix, inner index)` only, so
+/// the caller must guarantee that equal families imply equal checked
+/// computations (the service derives the family from the unit
+/// fingerprint, making collisions imply input equality).
+#[derive(Clone, Default)]
+pub struct SimWarm {
+    memo: Arc<crate::prefix::PrefixMemo<LowerRun>>,
+    snaps: Arc<std::sync::OnceLock<Arc<crate::prefix::SnapshotTrie<SimSnap>>>>,
+    upper: Arc<std::sync::OnceLock<Arc<crate::explore::BoundedCache<(Log, usize), UpperRun>>>>,
+}
+
+/// Point-in-time accounting for a [`SimWarm`] handle, surfaced
+/// per-request by the certification service (deltas between two
+/// snapshots give per-request hits/evictions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Memoized lower-run outcomes resident in the prefix memo.
+    pub memo_entries: usize,
+    /// Query-point snapshots resident in the trie.
+    pub snapshot_entries: usize,
+    /// Snapshot-trie lookups answered since the handle was created.
+    pub snapshot_hits: u64,
+    /// Snapshot-trie entries evicted (deepest-first) since creation.
+    pub snapshot_evictions: u64,
+    /// Upper-run cache entries resident.
+    pub upper_entries: usize,
+    /// Upper-run cache lookups answered since creation.
+    pub upper_hits: u64,
+    /// Upper-run cache entries evicted (deepest-first) since creation.
+    pub upper_evictions: u64,
+}
+
+impl SimWarm {
+    /// A fresh, empty warm handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The snapshot trie, created at `cap` on first use (later calls keep
+    /// the first capacity — one handle serves one check configuration).
+    fn snaps(&self, cap: usize) -> Arc<crate::prefix::SnapshotTrie<SimSnap>> {
+        self.snaps
+            .get_or_init(|| Arc::new(crate::prefix::SnapshotTrie::new(cap)))
+            .clone()
+    }
+
+    /// The upper-run cache, created at `cap` on first use.
+    fn upper(&self, cap: usize) -> Arc<crate::explore::BoundedCache<(Log, usize), UpperRun>> {
+        self.upper
+            .get_or_init(|| Arc::new(crate::explore::BoundedCache::new(cap)))
+            .clone()
+    }
+
+    /// Current accounting for this handle.
+    pub fn stats(&self) -> WarmStats {
+        let mut stats = WarmStats {
+            memo_entries: self.memo.len(),
+            ..WarmStats::default()
+        };
+        if let Some(snaps) = self.snaps.get() {
+            stats.snapshot_entries = snaps.len();
+            stats.snapshot_hits = snaps.hits();
+            stats.snapshot_evictions = snaps.evictions();
+        }
+        if let Some(upper) = self.upper.get() {
+            stats.upper_entries = upper.len();
+            stats.upper_hits = upper.hits();
+            stats.upper_evictions = upper.evictions();
+        }
+        stats
+    }
+}
+
+impl fmt::Debug for SimWarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimWarm").field("stats", &self.stats()).finish()
+    }
 }
 
 /// Checks Def. 2.1 for a lower computation against an upper strategy:
@@ -526,21 +733,12 @@ pub fn check_prim_refinement(
             reason,
         })
     };
-    // Outcome of the upper half of a case — a deterministic function of
-    // the replayed abstract event sequence and the argument vector, which
-    // makes it memoizable across symmetric schedules. The memo is bounded
-    // with deepest-first eviction: entries are keyed at the length of the
-    // replayed sequence, so the long, unlikely-to-recur runs are dropped
-    // before the short ones many cases share.
-    #[allow(clippy::items_after_statements)]
-    #[derive(Clone)]
-    enum UpperRun {
-        Skipped,
-        Failed { reason: String, upper_log: Log },
-        Done { upper_log: Log, upper_ret: Val },
-    }
-    let upper_cache: crate::explore::BoundedCache<(Log, usize), UpperRun> =
-        crate::explore::BoundedCache::new(opts.upper_cache_cap);
+    // The upper-run cache: caller-owned (warm) when the options carry a
+    // [`SimWarm`] handle, otherwise fresh for this invocation.
+    let upper_cache: Arc<crate::explore::BoundedCache<(Log, usize), UpperRun>> = match &opts.warm {
+        Some(w) => w.upper(opts.upper_cache_cap),
+        None => Arc::new(crate::explore::BoundedCache::new(opts.upper_cache_cap)),
+    };
     let run_upper = |expected: &Log, args: &[Val]| -> UpperRun {
         let upper_env = replay_env(expected, pid);
         let mut upper =
@@ -572,92 +770,28 @@ pub fn check_prim_refinement(
             },
         }
     };
-    // Outcome of the lower half of a case — a deterministic function of
-    // the schedule prefix the run consumes and the argument vector, which
-    // makes it shareable across contexts with a common consumed prefix
-    // via [`crate::prefix::PrefixMemo`]. Reasons deliberately omit the
-    // case description: the per-case wrapper re-attaches it.
-    #[allow(clippy::items_after_statements)]
-    #[derive(Clone)]
-    enum LowerRun {
-        Skipped,
-        Failed { lower_log: Log, reason: String },
-        Done { lower_log: Log, lower_ret: Val },
-    }
-    // Mid-run snapshots of the lower machine, keyed by consumed schedule
-    // prefix in one [`crate::prefix::SnapshotTrie`]. Inner index 0 holds
-    // the setup phase (argument-independent): `Abort` for a setup that
-    // skipped or failed, `Setup` for an in-flight setup call captured at a
-    // query point, `PostSetup` for the machine after all setup calls.
-    // Inner index `1 + ai` holds the checked call for argument vector
-    // `ai`: `Call` at each of its query points and delivered environment
-    // turns, and `Return` at its return plus — with deep sharing on — at
-    // every slot of the trailing environment flush (the flush prefix is
-    // identical for every context agreeing on those slots, so deeper
-    // `Return` forks skip re-flushing it). With `deep_share` off only the
-    // phase boundaries (`Abort`/`PostSetup`/pre-flush `Return`) are
-    // stored; the query-point variants additionally need
-    // [`PrimRun::fork_run`].
-    #[allow(clippy::items_after_statements, clippy::large_enum_variant)]
-    enum SimSnap {
-        Abort {
-            outcome: LowerRun,
-        },
-        Setup {
-            machine: LayerMachine,
-            run: Box<dyn PrimRun>,
-            call: usize,
-        },
-        PostSetup {
-            machine: LayerMachine,
-        },
-        Call {
-            machine: LayerMachine,
-            run: Box<dyn PrimRun>,
-        },
-        Return {
-            machine: LayerMachine,
-            lower_ret: Val,
-        },
-    }
-    #[allow(clippy::items_after_statements)]
-    impl crate::prefix::ForkSnapshot for SimSnap {
-        fn fork(&self) -> Option<Self> {
-            Some(match self {
-                SimSnap::Abort { outcome } => SimSnap::Abort {
-                    outcome: outcome.clone(),
-                },
-                SimSnap::Setup { machine, run, call } => SimSnap::Setup {
-                    machine: machine.fork(),
-                    run: run.fork_run()?,
-                    call: *call,
-                },
-                SimSnap::PostSetup { machine } => SimSnap::PostSetup {
-                    machine: machine.fork(),
-                },
-                SimSnap::Call { machine, run } => SimSnap::Call {
-                    machine: machine.fork(),
-                    run: run.fork_run()?,
-                },
-                SimSnap::Return { machine, lower_ret } => SimSnap::Return {
-                    machine: machine.fork(),
-                    lower_ret: lower_ret.clone(),
-                },
-            })
-        }
-    }
-    // The kernel owns the prefix memo and the snapshot trie. Sim's phase
-    // accounting distinguishes shared (`Abort`/`PostSetup`/`Return`) from
-    // deep (`Setup`/`Call`) snapshot hits, so it resumes via the raw
+    // The kernel owns the prefix memo and the snapshot trie — warm
+    // (caller-owned, surviving this call) when the options carry a
+    // [`SimWarm`] handle. Sim's phase accounting distinguishes shared
+    // (`Abort`/`PostSetup`/`Return`) from deep (`Setup`/`Call`) snapshot
+    // hits, so it resumes via the raw
     // [`crate::explore::Kernel::lookup_snapshot`] and records itself.
-    let kernel: crate::explore::Kernel<SimSnap, LowerRun> =
-        crate::explore::Kernel::new(&crate::explore::ExploreOptions {
-            workers: opts.workers,
-            por: opts.por,
-            prefix_share: opts.prefix_share,
-            deep_share: opts.deep_share,
-            snapshot_cap: opts.snapshot_cap,
-        });
+    let explore_opts = crate::explore::ExploreOptions {
+        workers: opts.workers,
+        por: opts.por,
+        prefix_share: opts.prefix_share,
+        deep_share: opts.deep_share,
+        snapshot_cap: opts.snapshot_cap,
+        window: opts.window,
+    };
+    let kernel: crate::explore::Kernel<SimSnap, LowerRun> = match &opts.warm {
+        Some(w) => crate::explore::Kernel::with_state(
+            &explore_opts,
+            w.memo.clone(),
+            w.snaps(opts.snapshot_cap),
+        ),
+        None => crate::explore::Kernel::new(&explore_opts),
+    };
     let deep = kernel.deep();
     let sched_consumed =
         |m: &LayerMachine| m.log.iter().filter(|e| e.is_sched()).count();

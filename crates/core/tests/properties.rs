@@ -156,6 +156,6 @@ proptest! {
         prop_assert!(bigger.has_prefix(&log));
         prop_assert!(log.has_prefix(&log));
         prop_assert!(!log.has_prefix(&bigger));
-        prop_assert_eq!(bigger.suffix_from(log.len()).len(), 1);
+        prop_assert_eq!(bigger.suffix_from(log.len()).count(), 1);
     }
 }

@@ -78,4 +78,7 @@ cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quic
 echo "== bench gate (no criterion): bytecode_vm --quick (asserts B6 vm/interp prim-steps <= 0.6 and exact atom-step tier equality at L=5; writes BENCH_6.json) =="
 cargo bench -p ccal-bench --no-default-features --bench bytecode_vm -- --quick
 
+echo "== certd service e2e: sharded grid, zero-step cache hits, SIGKILL recovery, store persistence =="
+scripts/certd_e2e.sh
+
 echo "verify: all green"
