@@ -1,0 +1,114 @@
+//! Experiment B7: convergence dedup — canonical state fingerprints
+//! collapsing diamond schedules — on the contended ticket stack (see
+//! DESIGN.md §"Convergence dedup").
+//!
+//! Run with `cargo bench -p ccal-bench --bench convergence`; pass
+//! `-- --quick` (or set `CCAL_BENCH_QUICK=1`) for a fast smoke run.
+//! Works with or without the `criterion` feature — the metric is the
+//! engine's atom-step counters plus plain wall-clock timing.
+//!
+//! This binary owns its process, so the process-global step counters are
+//! exact; it doubles as the acceptance gate for the convergence cache:
+//! at `L = 5` the dedup run's machine-level atom-steps must be at most
+//! 0.6 of the baseline's on the same certification — a counter ratio,
+//! not a wall-clock one, so the gate holds on single-core and noisy
+//! hosts. The discharged cases, verdicts and rendered outcomes must
+//! agree *exactly* between cache settings (asserted inside
+//! `scaling::convergence_row` and `scaling::convergence_checker_stats`):
+//! the cache is observationally inert, and any drift is a correctness
+//! bug, not a performance regression.
+//!
+//! It also emits `BENCH_7.json` at the repo root — machine-readable
+//! atom-step ratios per schedule length plus per-checker hit/evict
+//! counters — so the perf trajectory is tracked across changes.
+
+use std::fmt::Write as _;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("CCAL_BENCH_QUICK").is_some();
+    let lens: &[usize] = if quick { &[3, 5] } else { &[3, 4, 5] };
+
+    let rows: Vec<_> = lens
+        .iter()
+        .map(|&l| ccal_bench::scaling::convergence_row(l))
+        .collect();
+    println!("{}", ccal_bench::scaling::render_convergence_rows(&rows));
+
+    let stats = ccal_bench::scaling::convergence_checker_stats();
+    println!("{}", ccal_bench::scaling::render_checker_stats(&stats));
+    for s in &stats {
+        assert!(
+            s.conv_hits > 0,
+            "B7: the {} checker produced no convergence hits on its ticket \
+             workload — the cache is not reaching that kernel path",
+            s.checker
+        );
+    }
+
+    let gate = rows
+        .iter()
+        .find(|r| r.schedule_len == 5)
+        .expect("L=5 row present");
+    assert!(
+        gate.atom_step_ratio() <= 0.6,
+        "B7 acceptance: convergence dedup must cut the atom-steps to <= 0.6 \
+         of the baseline's at L=5 on the contended ticket stack, got {} of \
+         {} ({:.2})",
+        gate.atom_steps_dedup,
+        gate.atom_steps_base,
+        gate.atom_step_ratio()
+    );
+    println!(
+        "B7 acceptance: L=5 atom-step ratio {:.3} <= 0.6 (dedup {} vs base {})",
+        gate.atom_step_ratio(),
+        gate.atom_steps_dedup,
+        gate.atom_steps_base
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path, render_json(&rows, &stats)).expect("write BENCH_7.json");
+    println!("wrote {path}");
+}
+
+/// Renders the machine-readable benchmark record. Hand-rolled JSON — the
+/// workspace is offline and the fields are flat numbers.
+fn render_json(
+    rows: &[ccal_bench::scaling::ConvergenceRow],
+    stats: &[ccal_bench::scaling::ConvCheckerStat],
+) -> String {
+    // Recorded so step-ratio trajectories can be compared across hosts:
+    // wall-clock sanity numbers depend on the machine's parallelism.
+    let hw = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut out = format!("{{\n  \"hardware_threads\": {hw},\n  \"b7\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"len\": {}, \"grid\": {}, \"cases\": {}, \"atom_steps_base\": {}, \
+             \"atom_steps_dedup\": {}, \"conv_hits\": {}, \"conv_evictions\": {}, \
+             \"ratio\": {:.4}}}",
+            r.schedule_len,
+            r.grid,
+            r.cases,
+            r.atom_steps_base,
+            r.atom_steps_dedup,
+            r.conv_hits,
+            r.conv_evictions,
+            r.atom_step_ratio(),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"b7_checkers\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"checker\": \"{}\", \"cases\": {}, \"atom_steps_base\": {}, \
+             \"atom_steps_dedup\": {}, \"conv_hits\": {}, \"conv_evictions\": {}}}",
+            s.checker, s.cases, s.atom_steps_base, s.atom_steps_dedup, s.conv_hits,
+            s.conv_evictions,
+        );
+        out.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -33,7 +33,7 @@ use std::time::Duration;
 use crate::proto::{read_msg, write_msg, Addr, ChunkReport, Conn, Lease, Msg, VERSION};
 use crate::registry::{self, UnitDef, WarmMap};
 use crate::spec::{CertRequest, CertResponse, UnitReport};
-use crate::store::{CertStore, StoredUnit};
+use crate::store::{CertStore, StoredManifest, StoredUnit};
 
 /// Daemon configuration.
 #[derive(Debug)]
@@ -322,11 +322,56 @@ impl Inner {
         Ok(report)
     }
 
+    /// The stack-manifest fast path: if a previous fully-clean run of
+    /// this exact (stack, params) left a manifest, and every unit
+    /// fingerprint in it is stored clean, the whole response is built
+    /// from the store — the registry is never asked to decompose the
+    /// stack (no front-end, no interface construction, no per-unit
+    /// fingerprinting). Any gap — no manifest, a missing unit, a stored
+    /// failure — falls back to the normal per-unit flow, which
+    /// re-derives everything from scratch.
+    fn try_manifest(&self, req: &CertRequest) -> Option<CertResponse> {
+        let key = registry::manifest_key(&req.stack, &req.params);
+        let manifest = self.opts.store.get_manifest(key)?;
+        let mut reports = Vec::with_capacity(manifest.units.len());
+        for (name, fp) in &manifest.units {
+            let stored = self.opts.store.get(*fp)?;
+            if stored.failure.is_some() {
+                return None;
+            }
+            reports.push(UnitReport {
+                unit: name.clone(),
+                fingerprint: fp.to_string(),
+                cache_hit: true,
+                cases_checked: stored.cases_checked,
+                cases_skipped: stored.cases_skipped,
+                cases_reduced: stored.cases_reduced,
+                ..UnitReport::default()
+            });
+        }
+        let cache_hits = reports.len();
+        Some(CertResponse {
+            stack: req.stack.clone(),
+            certified: true,
+            failure: None,
+            failed_unit: None,
+            units: reports,
+            cache_hits,
+            manifest_hit: true,
+            total_steps: 0,
+        })
+    }
+
     /// The certification flow: per unit, answer from the store or
     /// explore via the chunk queue; stop at the first failing unit
     /// (mirroring `check_fun`'s first-counterexample return).
     fn run_request(&self, req: &CertRequest) -> Result<CertResponse, String> {
         let _gate = relock(self.certify_gate.lock());
+        if req.use_cache {
+            if let Some(resp) = self.try_manifest(req) {
+                return Ok(resp);
+            }
+        }
         let units = registry::stack_units(&req.stack, &req.params)?;
         let mut reports: Vec<UnitReport> = Vec::new();
         let mut cache_hits = 0usize;
@@ -376,6 +421,22 @@ impl Inner {
                 break;
             }
         }
+        // A clean full run earns a manifest, so the next recertify of
+        // this exact (stack, params) can skip decomposition entirely.
+        // Failing runs must not: their first-failure flow depends on
+        // re-decomposing up to the failing unit.
+        if failure.is_none() && reports.len() == units.len() {
+            self.opts.store.put_manifest(
+                registry::manifest_key(&req.stack, &req.params),
+                StoredManifest {
+                    stack: req.stack.clone(),
+                    units: units
+                        .iter()
+                        .map(|d| (d.name.clone(), d.fingerprint))
+                        .collect(),
+                },
+            );
+        }
         let total_steps = reports.iter().map(|r| r.steps).sum();
         Ok(CertResponse {
             stack: req.stack.clone(),
@@ -384,6 +445,7 @@ impl Inner {
             failed_unit,
             units: reports,
             cache_hits,
+            manifest_hit: false,
             total_steps,
         })
     }

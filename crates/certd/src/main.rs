@@ -186,6 +186,9 @@ fn render_plain(resp: &CertResponse) {
         );
     }
     println!("cache_hits: {}", resp.cache_hits);
+    if resp.manifest_hit {
+        println!("manifest_hit: true");
+    }
     println!("total_steps: {}", resp.total_steps);
     if let Some(unit) = &resp.failed_unit {
         println!("failed_unit: {unit}");

@@ -451,6 +451,7 @@ mod tests {
                 failed_unit: None,
                 units: vec![],
                 cache_hits: 2,
+                manifest_hit: false,
                 total_steps: 0,
             }),
             Msg::LeaseReq,

@@ -282,7 +282,8 @@ fn sim_options(
         .with_por(params.por)
         .with_prefix_share(params.prefix_share)
         .with_deep_share(params.deep_share)
-        .with_bytecode(params.bytecode);
+        .with_bytecode(params.bytecode)
+        .with_state_dedup(params.state_dedup);
     sim.setup = unit.setup.clone();
     if let Some((lo, hi)) = window {
         sim = sim.with_window(lo, hi);
@@ -337,8 +338,40 @@ fn unit_fingerprint(stack: &str, unit: &Unit, params: &CertParams) -> ContentHas
     h.bool("opt.prefix_share", sim.prefix_share);
     h.bool("opt.deep_share", sim.deep_share);
     h.bool("opt.bytecode", sim.bytecode);
+    h.bool("opt.state_dedup", sim.state_dedup);
     h.usize("opt.snapshot_cap", sim.snapshot_cap);
     h.usize("opt.upper_cache_cap", sim.upper_cache_cap);
+    h.finish()
+}
+
+/// Process-global count of full stack decompositions (front-end runs,
+/// interface construction, per-unit fingerprinting). The manifest fast
+/// path is asserted against this: a fully-clean recertify must answer
+/// without bumping it.
+static DECOMPOSITIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total stack decompositions performed by this process.
+pub fn decompositions_total() -> u64 {
+    DECOMPOSITIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The identity of a whole-stack certificate: stack name plus every
+/// verdict-relevant parameter. Keying the manifest by this (rather than
+/// the stack name alone) makes a parameter change a manifest miss, the
+/// same way it dirties every unit fingerprint.
+pub fn manifest_key(stack: &str, params: &CertParams) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.section("ccal.cert.manifest.v1");
+    h.str("stack", stack);
+    h.usize("schedule_len", params.schedule_len);
+    h.u64("rounds", params.rounds);
+    h.usize("workers", params.workers);
+    h.bool("dedup", params.dedup);
+    h.bool("por", params.por);
+    h.bool("prefix_share", params.prefix_share);
+    h.bool("deep_share", params.deep_share);
+    h.bool("bytecode", params.bytecode);
+    h.bool("state_dedup", params.state_dedup);
     h.finish()
 }
 
@@ -349,6 +382,7 @@ fn unit_fingerprint(stack: &str, unit: &Unit, params: &CertParams) -> ContentHas
 ///
 /// Unknown stacks and ClightX front-end failures.
 pub fn stack_units(stack: &str, params: &CertParams) -> Result<Vec<UnitDef>, String> {
+    DECOMPOSITIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     units(stack, params)?
         .iter()
         .map(|u| {
@@ -529,6 +563,19 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_ne!(x.fingerprint, y.fingerprint, "{}", x.name);
         }
+
+        // Convergence dedup extends the trust base, so it is part of
+        // the certificate identity too.
+        let mut no_conv = base.clone();
+        no_conv.state_dedup = false;
+        let c = stack_units("qlock", &no_conv).expect("resolves");
+        for (x, y) in a.iter().zip(&c) {
+            assert_ne!(x.fingerprint, y.fingerprint, "{}: state_dedup", x.name);
+        }
+        assert_ne!(manifest_key("qlock", &base), manifest_key("qlock", &no_conv));
+        assert_ne!(manifest_key("qlock", &base), manifest_key("qlock", &longer));
+        assert_ne!(manifest_key("qlock", &base), manifest_key("ticket", &base));
+        assert_eq!(manifest_key("qlock", &base), manifest_key("qlock", &base));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct CertParams {
     pub deep_share: bool,
     /// ClightX bytecode VM for module bodies.
     pub bytecode: bool,
+    /// Convergence dedup (canonical state fingerprints collapsing
+    /// diamond schedules). Part of the certificate identity: it extends
+    /// the trust base by `replay_commutes`, so certificates produced
+    /// with and without it must not alias.
+    pub state_dedup: bool,
 }
 
 impl Default for CertParams {
@@ -38,6 +43,7 @@ impl Default for CertParams {
             prefix_share: true,
             deep_share: true,
             bytecode: true,
+            state_dedup: true,
         }
     }
 }
@@ -136,6 +142,10 @@ pub struct CertResponse {
     pub units: Vec<UnitReport>,
     /// Units answered from the certificate store.
     pub cache_hits: usize,
+    /// The whole request was answered from the stack manifest: every
+    /// unit fingerprint was clean in the store, so the registry was
+    /// never asked to decompose the stack.
+    pub manifest_hit: bool,
     /// Total atom-step delta over the request (0 on a pure cache hit).
     pub total_steps: u64,
 }
@@ -203,6 +213,7 @@ impl CertParams {
             ("prefix_share", Json::Bool(self.prefix_share)),
             ("deep_share", Json::Bool(self.deep_share)),
             ("bytecode", Json::Bool(self.bytecode)),
+            ("state_dedup", Json::Bool(self.state_dedup)),
         ])
     }
 
@@ -217,6 +228,9 @@ impl CertParams {
             prefix_share: get_bool(j, "prefix_share")?,
             deep_share: get_bool(j, "deep_share")?,
             bytecode: get_bool(j, "bytecode")?,
+            // Tolerant: requests encoded before the flag existed default
+            // to on, matching `CertParams::default()`.
+            state_dedup: j.get("state_dedup").and_then(Json::as_bool).unwrap_or(true),
         })
     }
 }
@@ -312,6 +326,7 @@ impl CertResponse {
                 Json::Arr(self.units.iter().map(UnitReport::to_json).collect()),
             ),
             ("cache_hits", int(self.cache_hits as u64)),
+            ("manifest_hit", Json::Bool(self.manifest_hit)),
             ("total_steps", int(self.total_steps)),
         ])
     }
@@ -331,6 +346,9 @@ impl CertResponse {
             failed_unit: get_opt_str(j, "failed_unit")?,
             units,
             cache_hits: get_usize(j, "cache_hits")?,
+            // Tolerant: responses encoded before the manifest fast path
+            // existed never hit it.
+            manifest_hit: j.get("manifest_hit").and_then(Json::as_bool).unwrap_or(false),
             total_steps: get_u64(j, "total_steps")?,
         })
     }
@@ -345,10 +363,22 @@ mod tests {
         let mut req = CertRequest::new("ticket");
         req.params.workers = 4;
         req.params.por = false;
+        req.params.state_dedup = false;
         req.use_cache = false;
         req.chunk_cases = 7;
         let back = CertRequest::from_json(&req.to_json()).expect("decodes");
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn params_without_state_dedup_decode_to_the_default() {
+        let mut j = CertParams::default().to_json();
+        let Json::Obj(fields) = &mut j else {
+            panic!("params encode as an object");
+        };
+        fields.remove("state_dedup");
+        let back = CertParams::from_json(&j).expect("tolerant decode");
+        assert!(back.state_dedup, "missing flag defaults on, like Default");
     }
 
     #[test]
@@ -368,10 +398,23 @@ mod tests {
                 ..UnitReport::default()
             }],
             cache_hits: 0,
+            manifest_hit: false,
             total_steps: 99,
         };
         let back = CertResponse::from_json(&resp.to_json()).expect("decodes");
         assert_eq!(resp, back);
+
+        let hit = CertResponse {
+            certified: true,
+            failure: None,
+            failed_unit: None,
+            units: Vec::new(),
+            manifest_hit: true,
+            total_steps: 0,
+            ..resp
+        };
+        let back = CertResponse::from_json(&hit.to_json()).expect("decodes");
+        assert_eq!(hit, back, "manifest_hit round-trips");
     }
 
     #[test]

@@ -74,12 +74,80 @@ impl StoredUnit {
     }
 }
 
+/// A stack manifest: the unit fingerprints a fully-certified stack
+/// decomposed into, keyed by [`manifest_key`](crate::registry::manifest_key)
+/// (stack name + every verdict-relevant parameter). A manifest is only
+/// written for a *clean* run, so a manifest hit whose units are all
+/// stored clean can answer a recertify without decomposing the stack at
+/// all — no front-end, no interface construction, no per-unit
+/// fingerprinting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredManifest {
+    /// Stack name at store time (diagnostic only; the key is the hash).
+    pub stack: String,
+    /// `(unit name, unit fingerprint)` in pipeline order.
+    pub units: Vec<(String, ContentHash)>,
+}
+
+impl StoredManifest {
+    fn to_json(&self, fp: ContentHash) -> Json {
+        Json::obj([
+            ("version", int(STORE_VERSION)),
+            ("fingerprint", Json::Str(fp.to_string())),
+            ("stack", Json::Str(self.stack.clone())),
+            (
+                "units",
+                Json::Arr(
+                    self.units
+                        .iter()
+                        .map(|(name, ufp)| {
+                            Json::obj([
+                                ("unit", Json::Str(name.clone())),
+                                ("fingerprint", Json::Str(ufp.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<(ContentHash, StoredManifest), String> {
+        if get_u64(j, "version")? != STORE_VERSION {
+            return Err("unsupported manifest record version".into());
+        }
+        let fp = ContentHash::parse(&get_str(j, "fingerprint")?)
+            .ok_or("bad fingerprint in manifest record")?;
+        let units = j
+            .get("units")
+            .and_then(Json::as_arr)
+            .ok_or("field `units` is not an array")?
+            .iter()
+            .map(|u| {
+                let name = get_str(u, "unit")?;
+                let ufp = ContentHash::parse(&get_str(u, "fingerprint")?)
+                    .ok_or("bad unit fingerprint in manifest record")?;
+                Ok((name, ufp))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok((
+            fp,
+            StoredManifest {
+                stack: get_str(j, "stack")?,
+                units,
+            },
+        ))
+    }
+}
+
 /// The certificate store: an in-memory map, optionally mirrored to a
-/// directory of `<fingerprint>.json` records.
+/// directory of `<fingerprint>.json` records (stack manifests go to
+/// `manifest-<fingerprint>.json`).
 #[derive(Debug)]
 pub struct CertStore {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<ContentHash, StoredUnit>>,
+    manifests: Mutex<HashMap<ContentHash, StoredManifest>>,
 }
 
 impl CertStore {
@@ -88,6 +156,7 @@ impl CertStore {
         CertStore {
             dir: None,
             mem: Mutex::new(HashMap::new()),
+            manifests: Mutex::new(HashMap::new()),
         }
     }
 
@@ -101,6 +170,7 @@ impl CertStore {
     pub fn at_dir(dir: PathBuf) -> io::Result<CertStore> {
         fs::create_dir_all(&dir)?;
         let mut mem = HashMap::new();
+        let mut manifests = HashMap::new();
         for entry in fs::read_dir(&dir)? {
             let path = entry?.path();
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
@@ -112,13 +182,22 @@ impl CertStore {
             let Ok(value) = json::parse(&text) else {
                 continue;
             };
-            if let Ok((fp, unit)) = StoredUnit::from_json(&value) {
+            let is_manifest = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("manifest-"));
+            if is_manifest {
+                if let Ok((fp, m)) = StoredManifest::from_json(&value) {
+                    manifests.insert(fp, m);
+                }
+            } else if let Ok((fp, unit)) = StoredUnit::from_json(&value) {
                 mem.insert(fp, unit);
             }
         }
         Ok(CertStore {
             dir: Some(dir),
             mem: Mutex::new(mem),
+            manifests: Mutex::new(manifests),
         })
     }
 
@@ -163,6 +242,36 @@ impl CertStore {
             .insert(fp, unit);
     }
 
+    /// The stored stack manifest for `fp`, unless hits are disabled
+    /// (the same `CCAL_CERTD_CACHE` hatch that gates unit hits).
+    pub fn get_manifest(&self, fp: ContentHash) -> Option<StoredManifest> {
+        if !Self::hits_enabled() {
+            return None;
+        }
+        self.manifests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
+
+    /// Records a stack manifest (in memory, and on disk when
+    /// persistent), same torn-write discipline as [`CertStore::put`].
+    pub fn put_manifest(&self, fp: ContentHash, manifest: StoredManifest) {
+        if let Some(dir) = &self.dir {
+            let body = manifest.to_json(fp).pretty();
+            let tmp = dir.join(format!(".manifest-{fp}.tmp"));
+            let final_path = dir.join(format!("manifest-{fp}.json"));
+            if fs::write(&tmp, body).is_ok() {
+                let _ = fs::rename(&tmp, &final_path);
+            }
+        }
+        self.manifests
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(fp, manifest);
+    }
+
     /// Number of stored records.
     pub fn len(&self) -> usize {
         self.mem.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -177,6 +286,15 @@ impl CertStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests against the per-lookup `CCAL_CERTD_CACHE` read:
+    /// every test that mutates the variable or performs lookups takes
+    /// this, so the kill-switch test cannot disable a neighbour's hits.
+    static ENV: Mutex<()> = Mutex::new(());
+
+    fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+        ENV.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn fp(n: u128) -> ContentHash {
         ContentHash(n)
@@ -194,6 +312,7 @@ mod tests {
 
     #[test]
     fn memory_store_round_trips() {
+        let _env = env_guard();
         let store = CertStore::in_memory();
         assert!(store.is_empty());
         store.put(fp(42), sample("op"));
@@ -203,6 +322,7 @@ mod tests {
 
     #[test]
     fn persistent_store_survives_reopen() {
+        let _env = env_guard();
         let dir = std::env::temp_dir().join(format!("ccal-certd-store-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         {
@@ -221,5 +341,49 @@ mod tests {
         assert_eq!(reopened.get(fp(7)), Some(sample("funlift/acq")));
         assert_eq!(reopened.get(fp(8)).expect("present").failure, None);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn manifest() -> StoredManifest {
+        StoredManifest {
+            stack: "qlock".into(),
+            units: vec![("acq_q".into(), fp(11)), ("rel_q".into(), fp(12))],
+        }
+    }
+
+    #[test]
+    fn manifests_round_trip_and_survive_reopen() {
+        let _env = env_guard();
+        let store = CertStore::in_memory();
+        assert_eq!(store.get_manifest(fp(99)), None);
+        store.put_manifest(fp(99), manifest());
+        assert_eq!(store.get_manifest(fp(99)), Some(manifest()));
+
+        let dir = std::env::temp_dir().join(format!("ccal-certd-mstore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = CertStore::at_dir(dir.clone()).expect("creates");
+            store.put_manifest(fp(99), manifest());
+            store.put(fp(11), StoredUnit { failure: None, ..sample("acq_q") });
+        }
+        let reopened = CertStore::at_dir(dir.clone()).expect("reopens");
+        assert_eq!(
+            reopened.get_manifest(fp(99)),
+            Some(manifest()),
+            "manifest survives restart"
+        );
+        assert_eq!(reopened.len(), 1, "manifest files are not unit records");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_hits_respect_the_kill_switch() {
+        let _env = env_guard();
+        let store = CertStore::in_memory();
+        store.put_manifest(fp(5), manifest());
+        std::env::set_var("CCAL_CERTD_CACHE", "0");
+        let hit = store.get_manifest(fp(5));
+        std::env::remove_var("CCAL_CERTD_CACHE");
+        assert_eq!(hit, None, "hits disabled by the kill switch");
+        assert_eq!(store.get_manifest(fp(5)), Some(manifest()));
     }
 }

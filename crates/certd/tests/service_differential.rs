@@ -391,6 +391,74 @@ fn recertifying_an_unchanged_stack_costs_zero_steps() {
     assert!(third.total_steps > 0);
 }
 
+/// The stack-manifest fast path: recertifying a fully-clean stack is
+/// answered from the per-stack manifest without asking the registry to
+/// decompose the stack at all — counter-asserted on the process-global
+/// decomposition counter, which the daemon's local runner shares with
+/// this test. Failing stacks never earn a manifest, and a parameter
+/// change misses it.
+#[test]
+fn clean_recertify_skips_registry_decomposition() {
+    let _guard = serial();
+    let p = CertParams::default();
+    let (_daemon, addr) = fresh_daemon();
+    let mut req = CertRequest::new("qlock");
+    req.params = p.clone();
+
+    let first = ccal_certd::certify(&addr, &req).expect("daemon answers");
+    assert!(first.certified);
+    assert!(!first.manifest_hit, "a cold run cannot hit the manifest");
+
+    let dec0 = registry::decompositions_total();
+    let steps0 = prefix::steps_total();
+    let second = ccal_certd::certify(&addr, &req).expect("daemon answers");
+    assert!(second.manifest_hit, "fully-clean stack answers from the manifest");
+    assert_eq!(
+        registry::decompositions_total(),
+        dec0,
+        "the registry never decomposed the stack"
+    );
+    assert_eq!(prefix::steps_total(), steps0, "no exploration ran");
+    assert!(second.certified);
+    assert_eq!(second.cache_hits, second.units.len(), "every unit cached");
+    assert_eq!(second.total_steps, 0);
+    assert_eq!(first.units.len(), second.units.len());
+    for (a, b) in first.units.iter().zip(&second.units) {
+        assert!(b.cache_hit, "unit {}: cache hit", b.unit);
+        assert_eq!(a.unit, b.unit, "manifest preserves pipeline order");
+        assert_eq!(a.fingerprint, b.fingerprint, "unit {}: same identity", b.unit);
+        assert_eq!(a.cases_checked, b.cases_checked, "unit {}: counts", b.unit);
+        assert_eq!(a.cases_skipped, b.cases_skipped, "unit {}: counts", b.unit);
+        assert_eq!(a.cases_reduced, b.cases_reduced, "unit {}: counts", b.unit);
+    }
+
+    // A failing stack never earns a manifest: the recertify re-derives
+    // the first-failure evidence through the normal per-unit flow.
+    let mut scratch = CertRequest::new("scratch");
+    scratch.params = p.clone();
+    let f1 = ccal_certd::certify(&addr, &scratch).expect("daemon answers");
+    let dec1 = registry::decompositions_total();
+    let f2 = ccal_certd::certify(&addr, &scratch).expect("daemon answers");
+    assert!(!f1.certified && !f2.certified);
+    assert!(!f2.manifest_hit, "failing stacks have no manifest");
+    assert!(
+        registry::decompositions_total() > dec1,
+        "the failing stack was decomposed again"
+    );
+    assert_eq!(f1.failure, f2.failure, "evidence unchanged by the fast path");
+
+    // A parameter change misses the manifest key, exactly as it dirties
+    // every unit fingerprint.
+    let mut dirty = CertRequest::new("qlock");
+    dirty.params = p.clone();
+    dirty.params.state_dedup = false;
+    let third = ccal_certd::certify(&addr, &dirty).expect("daemon answers");
+    assert!(!third.manifest_hit, "changed params miss the manifest");
+    assert_eq!(third.cache_hits, 0, "changed params miss the unit store too");
+    assert!(third.total_steps > 0, "the grid was re-explored");
+    assert!(third.certified, "qlock certifies with convergence dedup off");
+}
+
 /// The `CCAL_CERTD_CACHE=0` hatch disables store hits (the daemon
 /// process reads it per lookup), forcing recertification.
 #[test]

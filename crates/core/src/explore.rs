@@ -107,6 +107,13 @@ pub struct ExploreOptions {
     /// whole-grid exploration — this is what lets the certification
     /// service lease grid chunks to shard processes.
     pub window: Option<(usize, usize)>,
+    /// Convergence deduplication: cache suffix outcomes keyed by a
+    /// canonical state fingerprint plus the remaining schedule suffix, so
+    /// a context converging to an already-explored state completes
+    /// without executing another atom step ([`Kernel::converged`]).
+    /// Independent of `prefix_share` — it collapses *diamonds* (different
+    /// prefixes, same state), not shared prefixes.
+    pub state_dedup: bool,
 }
 
 impl Default for ExploreOptions {
@@ -118,13 +125,15 @@ impl Default for ExploreOptions {
             deep_share: crate::prefix::prefix_deep_enabled(),
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
             window: None,
+            state_dedup: crate::prefix::state_dedup_effective(),
         }
     }
 }
 
 impl ExploreOptions {
     /// The options the verifier checkers' `_tuned` variants expose:
-    /// explicit workers/POR/sharing, default snapshot cap, whole grid.
+    /// explicit workers/POR/sharing, default snapshot cap, whole grid,
+    /// convergence dedup from the effective process-wide flag.
     pub fn tuned(workers: usize, por: bool, prefix_share: bool, deep_share: bool) -> Self {
         Self {
             workers,
@@ -133,6 +142,7 @@ impl ExploreOptions {
             deep_share,
             snapshot_cap: crate::prefix::DEFAULT_SNAPSHOT_CAP,
             window: None,
+            state_dedup: crate::prefix::state_dedup_effective(),
         }
     }
 }
@@ -210,7 +220,23 @@ pub struct Kernel<S, T> {
     share: bool,
     deep: bool,
     window: Option<(usize, usize)>,
+    /// The convergence cache: canonical state fingerprint + remaining
+    /// schedule suffix → the suffix's outcome. Per-kernel (never warm
+    /// across invocations — fingerprints are canonical per computation,
+    /// not content-addressed across computations). The value carries
+    /// `(outcome, donor log length at the cut, donor total consumed)` so
+    /// a hit can graft the donor's suffix log onto the borrower's prefix
+    /// and memoize at the donor's full consumed depth.
+    conv: Option<BoundedCache<ConvKey, (T, usize, usize)>>,
 }
+
+/// Convergence-cache key: `(state fingerprint, schedule family, inner
+/// index, remaining schedule suffix)`. Equal keys mean: identical
+/// machine/game state (up to replay-commuting log reorderings), same
+/// computation, same sub-case, and the exact same schedule still to be
+/// delivered — under which execution is deterministic, so the suffix
+/// outcome is forced.
+type ConvKey = (u128, u64, usize, Vec<crate::id::Pid>);
 
 impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
     /// Creates a kernel for one checker invocation, with fresh (cold)
@@ -247,6 +273,9 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
             share,
             deep: share && opts.deep_share,
             window: opts.window,
+            conv: opts
+                .state_dedup
+                .then(|| BoundedCache::new(opts.snapshot_cap.max(1))),
         }
     }
 
@@ -343,6 +372,72 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
         make: impl FnOnce() -> Option<S>,
     ) {
         self.snapshots.insert_with(key, inner, consumed, make);
+    }
+
+    /// The context's schedule key, gated on convergence dedup: `None` when
+    /// dedup is off or the context is hand-built (keyless). Deliberately
+    /// *not* gated on `prefix_share` — convergence dedup collapses
+    /// diamonds, which exist whether or not prefixes are shared.
+    pub fn conv_key<'e>(&self, env: &'e EnvContext) -> Option<&'e ScheduleKey> {
+        if self.conv.is_some() {
+            env.schedule_key()
+        } else {
+            None
+        }
+    }
+
+    /// Probes the convergence cache at a cut point: `fp` is the canonical
+    /// fingerprint of the execution state after consuming `consumed`
+    /// schedule slots of `key`'s script. On a hit, returns the cached
+    /// `(outcome, donor log length at this cut, donor total consumed)` and
+    /// records a converged run; on a miss (or when the cut lies past the
+    /// scripted part of the schedule — round-robin tails are keyless
+    /// suffixes), returns `None`.
+    pub fn converged(
+        &self,
+        key: &ScheduleKey,
+        inner: usize,
+        consumed: usize,
+        fp: crate::fingerprint::ContentHash,
+    ) -> Option<(T, usize, usize)> {
+        let conv = self.conv.as_ref()?;
+        let suffix = key.script().get(consumed..)?;
+        let hit = conv.get(&(fp.0, key.family(), inner, suffix.to_vec()))?;
+        crate::prefix::record_converged();
+        Some(hit)
+    }
+
+    /// Records a completed run's outcome for a cut it passed through:
+    /// `consumed`/`cut_log_len` locate the cut (where `fp` was computed),
+    /// `total_consumed` is the run's final consumed schedule depth. The
+    /// entry's eviction depth is the cut's consumed depth, so deepest-first
+    /// eviction drops near-complete suffixes (cheap to re-run) before the
+    /// widely-reusable shallow ones.
+    pub fn converge_record(
+        &self,
+        key: &ScheduleKey,
+        inner: usize,
+        consumed: usize,
+        fp: crate::fingerprint::ContentHash,
+        cut_log_len: usize,
+        total_consumed: usize,
+        outcome: T,
+    ) {
+        if let Some(conv) = &self.conv {
+            if let Some(suffix) = key.script().get(consumed..) {
+                conv.insert(
+                    (fp.0, key.family(), inner, suffix.to_vec()),
+                    consumed,
+                    (outcome, cut_log_len, total_consumed),
+                );
+            }
+        }
+    }
+
+    /// Lookups answered by this kernel's convergence cache (0 when dedup
+    /// is off).
+    pub fn conv_hits(&self) -> u64 {
+        self.conv.as_ref().map_or(0, BoundedCache::hits)
     }
 
     /// The exploration loop: dispatches the `(context × sub-case)` grid
@@ -442,6 +537,19 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
     }
 }
 
+impl<S, T> Drop for Kernel<S, T> {
+    fn drop(&mut self) {
+        // Surface the per-invocation convergence-cache evictions into the
+        // process-wide counter the benches and differential tests read.
+        if let Some(conv) = &self.conv {
+            let n = conv.evictions();
+            if n > 0 {
+                crate::prefix::record_conv_evictions(n);
+            }
+        }
+    }
+}
+
 /// The memoized outcome of a traced concurrent (game) run — what the
 /// linearizability and race-freedom checkers fold over.
 pub type GameRun = (Result<ConcurrentOutcome, MachineError>, Log);
@@ -462,36 +570,87 @@ impl Kernel<GameState, GameRun> {
     ) -> GameRun {
         self.run_shared(env, 0, || {
             let key = self.deep_key(env);
+            let conv_key = self.conv_key(env);
             let machine = ConcurrentMachine::new(iface.clone(), focused.clone(), env.clone())
                 .with_fuel(fuel);
-            let (res, log, pre) = match key {
-                Some(k) => {
-                    let mut hook = |st: &GameState| {
-                        self.snapshot(k, 0, st.sched_consumed(), || st.fork());
-                    };
-                    match self.resume_deepest(k, 0) {
-                        Some((_, st)) => {
-                            // Fork the deepest snapshotted ancestor and
-                            // replay only the remaining turns, counting
-                            // only them.
-                            let pre = st.log_len() as u64;
-                            let (res, log) = machine.run_traced_from(st, &mut hook);
-                            (res, log, pre)
+            if key.is_none() && conv_key.is_none() {
+                let (res, log) = machine.run_traced(programs);
+                crate::prefix::record_steps(log.len() as u64);
+                let consumed = log.iter().filter(|e| e.is_sched()).count();
+                return ((res, log), consumed);
+            }
+            // Fork the deepest snapshotted ancestor when deep sharing has
+            // one, and replay (counting) only the remaining turns.
+            let (start, pre) = match key.and_then(|k| self.resume_deepest(k, 0)) {
+                Some((_, st)) => {
+                    let pre = st.log_len() as u64;
+                    (st, pre)
+                }
+                None => (machine.init_state(programs), 0),
+            };
+            // Each cut point stores a snapshot (deep sharing), then probes
+            // the convergence cache; a hit stashes the donor entry and
+            // aborts the game at the cut.
+            let mut conv_hit: Option<(GameRun, usize, usize)> = None;
+            let mut probes: Vec<(crate::fingerprint::ContentHash, usize, usize)> = Vec::new();
+            let ctl = machine.run_traced_from_ctl(start, &mut |st| {
+                if let Some(k) = key {
+                    self.snapshot(k, 0, st.sched_consumed(), || st.fork());
+                }
+                if let Some(k) = conv_key {
+                    let consumed = st.sched_consumed();
+                    if let Some(fp) = st.conv_fingerprint() {
+                        if let Some(hit) = self.converged(k, 0, consumed, fp) {
+                            conv_hit = Some(hit);
+                            return true;
                         }
-                        None => {
-                            let (res, log) = machine.run_traced_with_snapshots(programs, &mut hook);
-                            (res, log, 0)
-                        }
+                        probes.push((fp, consumed, st.log_len()));
                     }
                 }
-                None => {
-                    let (res, log) = machine.run_traced(programs);
-                    (res, log, 0)
+                false
+            });
+            match ctl {
+                Ok((res, log)) => {
+                    crate::prefix::record_steps(log.len() as u64 - pre);
+                    let consumed = log.iter().filter(|e| e.is_sched()).count();
+                    let outcome = (res, log);
+                    // Seed the convergence cache at every cut this run
+                    // passed through without a hit.
+                    if let Some(k) = conv_key {
+                        for (fp, cut_consumed, cut_len) in probes {
+                            self.converge_record(
+                                k,
+                                0,
+                                cut_consumed,
+                                fp,
+                                cut_len,
+                                consumed,
+                                outcome.clone(),
+                            );
+                        }
+                    }
+                    (outcome, consumed)
                 }
-            };
-            crate::prefix::record_steps(log.len() as u64 - pre);
-            let consumed = log.iter().filter(|e| e.is_sched()).count();
-            ((res, log), consumed)
+                Err(st) => {
+                    // Converged: re-graft the donor's suffix log onto this
+                    // context's prefix so the evidence is byte-identical to
+                    // an executed run, reuse the donor's verdict, and count
+                    // only the prefix actually executed here.
+                    let ((donor_res, donor_log), donor_cut, donor_consumed) =
+                        conv_hit.expect("an aborted game run implies a convergence hit");
+                    let cut_len = st.log_len() as u64;
+                    let mut log = st.into_log();
+                    log.append_all(donor_log.suffix_from(donor_cut).cloned());
+                    crate::prefix::record_steps(cut_len - pre);
+                    let res = donor_res.map(|out| ConcurrentOutcome {
+                        log: log.clone(),
+                        abs: out.abs,
+                        rets: out.rets,
+                        turns: out.turns,
+                    });
+                    ((res, log), donor_consumed)
+                }
+            }
         })
     }
 }
@@ -624,6 +783,9 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedCache<K, V> {
         self.len() == 0
     }
 
+}
+
+impl<K, V> BoundedCache<K, V> {
     /// Lookups answered from the cache since construction.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -694,6 +856,70 @@ mod tests {
         cache.insert("k", 1, 1);
         cache.insert("k", 1, 2);
         assert_eq!(cache.get(&"k"), Some(1));
+    }
+
+    #[test]
+    fn bounded_cache_counters_under_concurrent_insert() {
+        // 8 threads × 64 ops against an uncapped table: every distinct key
+        // lands exactly once (first insert wins), re-inserts are no-ops,
+        // and the hit counter equals the number of successful lookups —
+        // the counters the convergence benches report must stay exact
+        // under contention, not merely monotone.
+        let cache: std::sync::Arc<BoundedCache<(usize, usize), usize>> =
+            std::sync::Arc::new(BoundedCache::new(10_000));
+        let nthreads = 8;
+        let per = 64;
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..per {
+                        // Half the keys are shared across threads (racing
+                        // first-insert), half are thread-private.
+                        let key = if i % 2 == 0 { (0, i) } else { (t, i) };
+                        cache.insert(key, i, i);
+                        assert_eq!(cache.get(&key), Some(i));
+                    }
+                });
+            }
+        });
+        // Shared keys: one entry per even i. Private keys: one per (t, odd i).
+        let expected_len = per / 2 + nthreads * (per / 2);
+        assert_eq!(cache.len(), expected_len);
+        assert_eq!(cache.hits(), (nthreads * per) as u64);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_eviction_batch_is_deepest_first_newest_breaking_ties() {
+        // Cap 16 → batch = 16/8 = 2 victims per squeeze. Fill with depths
+        // 0..16, then insert at depth 3: the two deepest residents (15, 14)
+        // are evicted, the incoming shallow entry lands, and everything
+        // shallower survives.
+        let cache: BoundedCache<usize, usize> = BoundedCache::new(16);
+        for d in 0..16 {
+            cache.insert(d, d, d);
+        }
+        cache.insert(100, 3, 100);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.get(&15), None);
+        assert_eq!(cache.get(&14), None);
+        assert_eq!(cache.get(&13), Some(13));
+        assert_eq!(cache.get(&100), Some(100));
+        assert_eq!(cache.len(), 15);
+        // Ties on depth evict the newest entry first: two residents at the
+        // same depth, the older one survives the squeeze.
+        let cache2: BoundedCache<&'static str, i32> = BoundedCache::new(8);
+        cache2.insert("old", 7, 1);
+        cache2.insert("new", 7, 2);
+        for d in 0..6 {
+            cache2.insert(["a", "b", "c", "d", "e", "f"][d], d, 0);
+        }
+        cache2.insert("incoming", 0, 9);
+        assert_eq!(cache2.evictions(), 1);
+        assert_eq!(cache2.get(&"new"), None);
+        assert_eq!(cache2.get(&"old"), Some(1));
+        assert_eq!(cache2.get(&"incoming"), Some(9));
     }
 
     #[derive(Clone)]

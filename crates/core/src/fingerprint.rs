@@ -159,6 +159,13 @@ impl ContentHasher {
         }
     }
 
+    /// A tagged observable event. Hashed through its canonical `Debug`
+    /// rendering, which spells out the author, the kind, and every
+    /// argument — two events hash equal exactly when they are equal.
+    pub fn event(&mut self, tag: &str, e: &crate::event::Event) {
+        self.str(tag, &format!("{e:?}"));
+    }
+
     /// A layer interface: its name, its primitive names in canonical
     /// (sorted) order, and each primitive's *declared footprint
     /// derivation* from the process-global registry — the POR input that

@@ -416,6 +416,17 @@ pub struct SimOptions {
     /// the same schedule-key family; the certification service keys warm
     /// handles (and families) by the unit's content fingerprint.
     pub warm: Option<SimWarm>,
+    /// Convergence deduplication ([`crate::explore::Kernel::converged`]):
+    /// fingerprint the lower machine canonically at every query-point cut
+    /// and complete any context whose remaining schedule suffix was
+    /// already explored from a fingerprint-identical state, re-grafting
+    /// the cached suffix log onto the current prefix so evidence stays
+    /// byte-identical. Collapses *diamonds* (schedules that interleave
+    /// replay-commuting events differently but converge to one state),
+    /// which prefix sharing by construction cannot. Defaults to
+    /// [`crate::prefix::state_dedup_effective`] (on unless
+    /// `CCAL_STATE_DEDUP=0`).
+    pub state_dedup: bool,
 }
 
 impl SimOptions {
@@ -439,6 +450,7 @@ impl Default for SimOptions {
             upper_cache_cap: Self::DEFAULT_UPPER_CACHE_CAP,
             window: None,
             warm: None,
+            state_dedup: crate::prefix::state_dedup_effective(),
         }
     }
 }
@@ -512,6 +524,13 @@ impl SimOptions {
     #[must_use]
     pub fn with_warm(mut self, warm: SimWarm) -> Self {
         self.warm = Some(warm);
+        self
+    }
+
+    /// Enables or disables convergence deduplication of lower runs.
+    #[must_use]
+    pub fn with_state_dedup(mut self, state_dedup: bool) -> Self {
+        self.state_dedup = state_dedup;
         self
     }
 }
@@ -783,6 +802,7 @@ pub fn check_prim_refinement(
         deep_share: opts.deep_share,
         snapshot_cap: opts.snapshot_cap,
         window: opts.window,
+        state_dedup: opts.state_dedup,
     };
     let kernel: crate::explore::Kernel<SimSnap, LowerRun> = match &opts.warm {
         Some(w) => crate::explore::Kernel::with_state(
@@ -937,6 +957,109 @@ pub fn check_prim_refinement(
             },
         }
     };
+    // Grafts a convergence donor's suffix log onto the borrower's executed
+    // prefix (`m` is parked exactly at the cut), so the evidence a hit
+    // returns is byte-identical to the run the borrower would have
+    // executed. `donor_cut` is the donor's log length at the same cut.
+    let graft_lower = |m: &LayerMachine, donor: LowerRun, donor_cut: usize| -> LowerRun {
+        let graft = |donor_log: Log| {
+            let mut log = m.log.clone();
+            log.append_all(donor_log.suffix_from(donor_cut).cloned());
+            log
+        };
+        match donor {
+            LowerRun::Skipped => LowerRun::Skipped,
+            LowerRun::Failed { lower_log, reason } => LowerRun::Failed {
+                lower_log: graft(lower_log),
+                reason,
+            },
+            LowerRun::Done {
+                lower_log,
+                lower_ret,
+            } => LowerRun::Done {
+                lower_log: graft(lower_log),
+                lower_ret,
+            },
+        }
+    };
+    // Drives the checked call for sub-case `ai`: `start` launches (or
+    // resumes) the call under an abort-capable query-point hook that
+    // captures `Call` snapshots (when `snap`) and probes the convergence
+    // cache. A convergence hit aborts at the cut and grafts the donor's
+    // suffix; a completed run seeds the cache at every cut it passed
+    // through. Returns the outcome plus the consumed schedule depth —
+    // the *donor's* total depth on a hit, so memoization happens at the
+    // depth the full run actually reads.
+    let drive_checked = |lower: &mut LayerMachine,
+                         env: &EnvContext,
+                         ai: usize,
+                         snap: bool,
+                         start: &mut dyn FnMut(
+        &mut LayerMachine,
+        &mut dyn FnMut(&LayerMachine, &dyn PrimRun) -> bool,
+    )
+        -> Result<Option<Val>, crate::machine::MachineError>|
+     -> (LowerRun, usize) {
+        let key = kernel.share_key(env);
+        let conv_key = kernel.conv_key(env);
+        // Work executed before this point was already counted (at setup
+        // time for a fresh run, by the snapshot's producer for a fork).
+        let pre = lower.steps_taken() + lower.log.len() as u64;
+        let mut hit: Option<(LowerRun, usize, usize)> = None;
+        let mut probes: Vec<(crate::fingerprint::ContentHash, usize, usize)> = Vec::new();
+        let res = {
+            let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| -> bool {
+                if snap {
+                    if let Some(k) = key {
+                        snap_call_point(k, ai, mach, run);
+                    }
+                }
+                if let Some(k) = conv_key {
+                    let consumed = sched_consumed(mach);
+                    if let Some(fp) = mach.conv_fingerprint(run) {
+                        if let Some(h) = kernel.converged(k, 1 + ai, consumed, fp) {
+                            hit = Some(h);
+                            return true;
+                        }
+                        probes.push((fp, consumed, mach.log.len()));
+                    }
+                }
+                false
+            };
+            start(lower, &mut hook)
+        };
+        let (outcome, consumed) = match res {
+            Ok(None) => {
+                // Converged: the machine is parked at the cut; reuse the
+                // donor's verdict with the donor's suffix re-grafted onto
+                // this run's prefix, at the donor's consumed depth.
+                let (donor, donor_cut, donor_consumed) =
+                    hit.expect("an aborted lower call implies a convergence hit");
+                (graft_lower(lower, donor, donor_cut), donor_consumed)
+            }
+            res => {
+                let res = res.map(|v| v.expect("non-aborted call returns a value"));
+                let outcome = finish_call(lower, res, key, ai);
+                let consumed = sched_consumed(lower);
+                if let Some(k) = conv_key {
+                    for (fp, cut_consumed, cut_len) in probes {
+                        kernel.converge_record(
+                            k,
+                            1 + ai,
+                            cut_consumed,
+                            fp,
+                            cut_len,
+                            consumed,
+                            outcome.clone(),
+                        );
+                    }
+                }
+                (outcome, consumed)
+            }
+        };
+        crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
+        (outcome, consumed)
+    };
     // Executes the lower half of a case, resuming the setup phase from the
     // deepest stored snapshot. Returns the outcome plus the total consumed
     // schedule prefix length.
@@ -986,22 +1109,13 @@ pub fn check_prim_refinement(
                 }
             }
         };
-        // Work executed before this point was already counted (at setup
-        // time for a fresh run, by the snapshot's producer for a fork).
-        let pre = lower.steps_taken() + lower.log.len() as u64;
-        let res = if deep && key.is_some() {
-            let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
-                if let Some(k) = key {
-                    snap_call_point(k, ai, mach, run);
-                }
-            };
-            lower.call_prim_with_snapshots(lower_prim, args, &mut hook)
-        } else {
-            lower.call_prim(lower_prim, args)
-        };
-        let outcome = finish_call(&mut lower, res, key, ai);
-        crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
-        (outcome, sched_consumed(&lower))
+        drive_checked(
+            &mut lower,
+            env,
+            ai,
+            deep,
+            &mut |m, hook| m.call_prim_ctl(lower_prim, args, hook),
+        )
     };
     // 1. Run the lower machine — once per distinct consumed schedule
     // prefix and argument vector when sharing is on; every context whose
@@ -1045,16 +1159,19 @@ pub fn check_prim_refinement(
             Some((_, SimSnap::Call { machine, run })) => {
                 crate::prefix::record_deep();
                 let mut lower = machine.fork_with_env(env.clone());
-                let pre = lower.steps_taken() + lower.log.len() as u64;
-                let res = {
-                    let mut hook = |mach: &LayerMachine, run: &dyn PrimRun| {
-                        snap_call_point(k, ai, mach, run);
-                    };
-                    lower.resume_query(run, &mut hook)
-                };
-                let outcome = finish_call(&mut lower, res, Some(k), ai);
-                crate::prefix::record_steps(lower.steps_taken() + lower.log.len() as u64 - pre);
-                Some((outcome, sched_consumed(&lower)))
+                let mut inflight = Some(run);
+                Some(drive_checked(
+                    &mut lower,
+                    env,
+                    ai,
+                    true,
+                    &mut |m, hook| {
+                        m.resume_query_ctl(
+                            inflight.take().expect("the call resumes exactly once"),
+                            hook,
+                        )
+                    },
+                ))
             }
             // Setup-phase variants live at inner 0, never `1 + ai`.
             Some(_) | None => None,

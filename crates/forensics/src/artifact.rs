@@ -57,6 +57,10 @@ pub struct ReplayOptions {
     /// replay validates on either — and decoded tolerantly (artifacts
     /// written before the compile tier existed read as `false`).
     pub bytecode: bool,
+    /// Convergence dedup of execution states (always off for replay — a
+    /// replay must *execute* the witness, never answer it from a cache;
+    /// decoded tolerantly like `prefix_share`).
+    pub state_dedup: bool,
 }
 
 /// One serialized failure witness.
@@ -95,6 +99,7 @@ impl TraceArtifact {
                     ("prefix_share", Json::Bool(self.options.prefix_share)),
                     ("deep_share", Json::Bool(self.options.deep_share)),
                     ("bytecode", Json::Bool(self.options.bytecode)),
+                    ("state_dedup", Json::Bool(self.options.state_dedup)),
                 ]),
             ),
             ("context", self.context.encode()),
@@ -178,6 +183,12 @@ impl TraceArtifact {
             // Tolerant like `prefix_share`: predates nothing an old
             // artifact depends on — both tiers validate identically.
             bytecode: oj.get("bytecode").and_then(Json::as_bool).unwrap_or(false),
+            // Tolerant: replay forces convergence dedup off structurally,
+            // so artifacts written before the flag existed read as `false`.
+            state_dedup: oj
+                .get("state_dedup")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         };
         let context = ScriptedContext::decode(
             j.get("context")
@@ -289,6 +300,7 @@ mod tests {
                 prefix_share: false,
                 deep_share: false,
                 bytecode: false,
+                state_dedup: false,
             },
             context: ScriptedContext {
                 domain: vec![Pid(0), Pid(1)],

@@ -43,6 +43,7 @@ fn config_grid() -> Vec<RunConfig> {
             por: false,
             prefix_share: false,
             deep_share: false,
+            state_dedup: false,
         },
         RunConfig {
             workers: 2,
@@ -50,6 +51,7 @@ fn config_grid() -> Vec<RunConfig> {
             por: true,
             prefix_share: true,
             deep_share: false,
+            state_dedup: false,
         },
         RunConfig {
             workers: 2,
@@ -57,6 +59,7 @@ fn config_grid() -> Vec<RunConfig> {
             por: true,
             prefix_share: true,
             deep_share: true,
+            state_dedup: true,
         },
     ]
 }

@@ -1,84 +1,111 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
-# parallel-vs-serial, POR, prefix-sharing, exploration-kernel, and
-# bytecode-tier differential suites (each optimization both on and under
-# its CCAL_POR=0 / CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 /
-# CCAL_BYTECODE=0 escape hatch; the kernel differential also reruns under
-# the obsolete CCAL_KERNEL=0 hatch), the engine regression tests, the full workspace tests (on both
-# execution tiers), and criterion-free benchmark smoke runs including the
-# B5 (whole-prefix), B5d (query-point snapshot), and B6 (compiled ClightX
-# bytecode VM) step-ratio gates. Everything here works without network
-# access — proptest/criterion resolve to the in-repo shim crates.
+# parallel-vs-serial, POR, prefix-sharing, exploration-kernel,
+# bytecode-tier, and convergence-dedup differential suites (each
+# optimization both on and under its CCAL_POR=0 / CCAL_PREFIX_SHARE=0 /
+# CCAL_PREFIX_DEEP=0 / CCAL_BYTECODE=0 / CCAL_STATE_DEDUP=0 escape
+# hatch; the kernel differential also reruns under the obsolete
+# CCAL_KERNEL=0 hatch), the engine regression tests, the full workspace
+# tests (on both execution tiers and with the convergence cache off),
+# and criterion-free benchmark smoke runs including the B5
+# (whole-prefix), B5d (query-point snapshot), B6 (compiled ClightX
+# bytecode VM), and B7 (convergence dedup) step-ratio gates. Everything
+# here works without network access — proptest/criterion resolve to the
+# in-repo shim crates. Each stage reports its own wall time so perf
+# regressions in the harness itself are visible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: release build =="
-cargo build --release
+# stage DESCRIPTION COMMAND... — runs COMMAND (use `env VAR=... cmd` for
+# per-stage environment overrides) and prints the stage's wall time.
+stage() {
+  local desc="$1"
+  shift
+  echo "== ${desc} =="
+  local t0=$SECONDS
+  "$@"
+  echo "-- ${desc}: $((SECONDS - t0))s"
+}
 
-echo "== tier-1: root-package tests =="
-cargo test -q
+stage "tier-1: release build" \
+  cargo build --release
 
-echo "== differential: parallel + dedup engine vs serial =="
-cargo test -q --test parallel_differential
+stage "tier-1: root-package tests" \
+  cargo test -q
 
-echo "== differential: POR-reduced grid vs full grid (all five checkers) =="
-cargo test -q --test por_differential
+stage "differential: parallel + dedup engine vs serial" \
+  cargo test -q --test parallel_differential
 
-echo "== differential: full grid re-checked with the escape hatch (CCAL_POR=0) =="
-CCAL_POR=0 cargo test -q --test por_differential
+stage "differential: POR-reduced grid vs full grid (all five checkers)" \
+  cargo test -q --test por_differential
 
-echo "== differential: prefix-sharing trie vs memo-free engine (all five checkers) =="
-cargo test -q --test prefix_differential
+stage "differential: full grid re-checked with the escape hatch (CCAL_POR=0)" \
+  env CCAL_POR=0 cargo test -q --test por_differential
 
-echo "== differential: sharing disabled via the escape hatch (CCAL_PREFIX_SHARE=0) =="
-CCAL_PREFIX_SHARE=0 cargo test -q --test prefix_differential
+stage "differential: prefix-sharing trie vs memo-free engine (all five checkers)" \
+  cargo test -q --test prefix_differential
 
-echo "== differential: deep sharing disabled via the escape hatch (CCAL_PREFIX_DEEP=0) =="
-CCAL_PREFIX_DEEP=0 cargo test -q --test prefix_differential
+stage "differential: sharing disabled via the escape hatch (CCAL_PREFIX_SHARE=0)" \
+  env CCAL_PREFIX_SHARE=0 cargo test -q --test prefix_differential
 
-echo "== differential: fork-vs-fresh snapshot resume (all snapshots x agreeing contexts) =="
-cargo test -q --test fork_differential
+stage "differential: deep sharing disabled via the escape hatch (CCAL_PREFIX_DEEP=0)" \
+  env CCAL_PREFIX_DEEP=0 cargo test -q --test prefix_differential
 
-echo "== differential: unified exploration kernel (all five checkers, ticket + qlock stacks) =="
-cargo test -q --test kernel_differential
+stage "differential: fork-vs-fresh snapshot resume (all snapshots x agreeing contexts)" \
+  cargo test -q --test fork_differential
 
-echo "== differential: kernel rerun under the obsolete escape hatch (CCAL_KERNEL=0 warns, stays on) =="
-CCAL_KERNEL=0 cargo test -q --test kernel_differential
+stage "differential: unified exploration kernel (all five checkers, ticket + qlock stacks)" \
+  cargo test -q --test kernel_differential
 
-echo "== differential: bytecode VM vs interpreter (random programs, proptest) =="
-cargo test -q -p ccal-clightx --test bytecode_differential
+stage "differential: kernel rerun under the obsolete escape hatch (CCAL_KERNEL=0 warns, stays on)" \
+  env CCAL_KERNEL=0 cargo test -q --test kernel_differential
 
-echo "== differential: bytecode VM vs interpreter (all five checkers, ticket stack) =="
-cargo test -q -p ccal-objects --test bytecode_differential
+stage "differential: bytecode VM vs interpreter (random programs, proptest)" \
+  cargo test -q -p ccal-clightx --test bytecode_differential
 
-echo "== differential: bytecode VM vs interpreter (forensics captures + artifacts) =="
-cargo test -q -p ccal-forensics --test bytecode_differential
+stage "differential: bytecode VM vs interpreter (all five checkers, ticket stack)" \
+  cargo test -q -p ccal-objects --test bytecode_differential
 
-echo "== regression: grid sampling, space_size, workers, cache cap =="
-cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
+stage "differential: bytecode VM vs interpreter (forensics captures + artifacts)" \
+  cargo test -q -p ccal-forensics --test bytecode_differential
 
-echo "== workspace tests =="
-cargo test --workspace -q
+stage "differential: convergence dedup on vs off (all five checkers, evidence byte-identity)" \
+  cargo test -q -p ccal-forensics --test convergence_differential
 
-echo "== workspace tests on the interpreter tier (escape hatch: CCAL_BYTECODE=0) =="
-CCAL_BYTECODE=0 cargo test --workspace -q
+stage "differential: convergence differential under the escape hatch (CCAL_STATE_DEDUP=0)" \
+  env CCAL_STATE_DEDUP=0 cargo test -q -p ccal-forensics --test convergence_differential
 
-echo "== forensics: shrink/replay selftest (all five checkers) =="
-cargo run -q --release -p ccal-forensics --bin ccal-replay -- --selftest
+stage "regression: grid sampling, space_size, workers, cache cap" \
+  cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
-echo "== forensics: golden corpus replay =="
-cargo run -q --release -p ccal-forensics --bin ccal-replay -- forensics/corpus
+stage "workspace tests" \
+  cargo test --workspace -q
 
-echo "== bench smoke (no criterion): composition_scaling --quick =="
-cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
+stage "workspace tests on the interpreter tier (escape hatch: CCAL_BYTECODE=0)" \
+  env CCAL_BYTECODE=0 cargo test --workspace -q
 
-echo "== bench gate (no criterion): prefix_sharing --quick (asserts B5 share/off <= 0.5 and B5d deep/share <= 0.7 at L=5; writes BENCH_5.json) =="
-cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quick
+stage "workspace tests with the convergence cache off (escape hatch: CCAL_STATE_DEDUP=0)" \
+  env CCAL_STATE_DEDUP=0 cargo test --workspace -q
 
-echo "== bench gate (no criterion): bytecode_vm --quick (asserts B6 vm/interp prim-steps <= 0.6 and exact atom-step tier equality at L=5; writes BENCH_6.json) =="
-cargo bench -p ccal-bench --no-default-features --bench bytecode_vm -- --quick
+stage "forensics: shrink/replay selftest (all five checkers)" \
+  cargo run -q --release -p ccal-forensics --bin ccal-replay -- --selftest
 
-echo "== certd service e2e: sharded grid, zero-step cache hits, SIGKILL recovery, store persistence =="
-scripts/certd_e2e.sh
+stage "forensics: golden corpus replay" \
+  cargo run -q --release -p ccal-forensics --bin ccal-replay -- forensics/corpus
+
+stage "bench smoke (no criterion): composition_scaling --quick" \
+  cargo bench -p ccal-bench --no-default-features --bench composition_scaling -- --quick
+
+stage "bench gate (no criterion): prefix_sharing --quick (asserts B5 share/off <= 0.5 and B5d deep/share <= 0.7 at L=5; writes BENCH_5.json)" \
+  cargo bench -p ccal-bench --no-default-features --bench prefix_sharing -- --quick
+
+stage "bench gate (no criterion): bytecode_vm --quick (asserts B6 vm/interp prim-steps <= 0.6 and exact atom-step tier equality at L=5; writes BENCH_6.json)" \
+  cargo bench -p ccal-bench --no-default-features --bench bytecode_vm -- --quick
+
+stage "bench gate (no criterion): convergence --quick (asserts B7 dedup/base atom-steps <= 0.6 at L=5 + per-checker hits; writes BENCH_7.json)" \
+  cargo bench -p ccal-bench --no-default-features --bench convergence -- --quick
+
+stage "certd service e2e: sharded grid, zero-step cache hits, SIGKILL recovery, store persistence" \
+  scripts/certd_e2e.sh
 
 echo "verify: all green"
