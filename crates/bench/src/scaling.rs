@@ -1065,15 +1065,16 @@ impl ConvergenceRow {
 }
 
 /// Runs `f` serially with the convergence cache forced to `state_dedup`
-/// and the ClightX tier forced to bytecode (the cache only fingerprints
-/// compiled primitives — the interpreter tier exposes no in-flight state
-/// fingerprint, so measuring there would gauge an inert cache), returning
+/// and the ClightX tier forced to `bytecode` — both tiers expose an
+/// in-flight state fingerprint (`CRun::state_fp` on the interpreter,
+/// the VM's slot image on the bytecode tier), so the cache is live
+/// either way and the tier is a measurement axis. Returns
 /// `(f(), atom_steps, conv_hits, conv_evictions)`. Evictions are
 /// accumulated on kernel drop, which happens inside the checker call, so
 /// reading the counter after `f` returns captures them.
-fn conv_bracket<T>(state_dedup: bool, f: &dyn Fn() -> T) -> (T, u64, u64, u64) {
+fn conv_bracket<T>(bytecode: bool, state_dedup: bool, f: &dyn Fn() -> T) -> (T, u64, u64, u64) {
     use ccal_core::prefix::{self, BytecodeOverride, StateDedupOverride};
-    let _tier = BytecodeOverride::force(true);
+    let _tier = BytecodeOverride::force(bytecode);
     let _sd = StateDedupOverride::force(state_dedup);
     prefix::steps_reset();
     let out = f();
@@ -1087,9 +1088,11 @@ fn conv_bracket<T>(state_dedup: bool, f: &dyn Fn() -> T) -> (T, u64, u64, u64) {
 
 /// One serial contended-ticket certification (B6's context family — the
 /// regime where overtaking schedules reconverge on identical lock
-/// states), returning the discharged cases. Counter bracketing is the
-/// caller's job via [`conv_bracket`].
-fn certify_ticket_contended(schedule_len: usize) -> usize {
+/// states) on the given ClightX tier, returning the discharged cases.
+/// Counter bracketing is the caller's job via [`conv_bracket`]; the
+/// workload must request the tier itself because
+/// `check_prim_refinement` re-forces the tier its options name.
+fn certify_ticket_contended(schedule_len: usize, bytecode: bool) -> usize {
     let b = Loc(0);
     let m1 = m1_module().expect("M1 parses");
     let contexts = ContextGen::new(vec![Pid(0), Pid(1), Pid(2)])
@@ -1102,7 +1105,7 @@ fn certify_ticket_contended(schedule_len: usize) -> usize {
         .with_workload("acq", vec![vec![ccal_core::val::Val::Loc(b)]])
         .with_workload("rel", vec![vec![ccal_core::val::Val::Loc(b)]])
         .with_workers(1)
-        .with_bytecode(true);
+        .with_bytecode(bytecode);
     let layer = check_fun(
         &l0_interface(),
         &m1,
@@ -1126,16 +1129,17 @@ pub fn convergence_row(schedule_len: usize) -> ConvergenceRow {
     let grid = 3_usize.pow(schedule_len as u32);
     let run = || {
         let start = Instant::now();
-        let cases = certify_ticket_contended(schedule_len);
+        let cases = certify_ticket_contended(schedule_len, true);
         (cases, start.elapsed())
     };
     // The forced-off baseline records no hits of its own, but the hit
     // counter is process-global, so `base_hits == 0` is only asserted in
     // the bench binary (via the per-checker stats), which owns its
     // process; in-crate tests share theirs with the rest of the suite.
-    let ((cases_base, serial_base), atom_steps_base, _base_hits, _) = conv_bracket(false, &run);
+    let ((cases_base, serial_base), atom_steps_base, _base_hits, _) =
+        conv_bracket(true, false, &run);
     let ((cases, serial_dedup), atom_steps_dedup, conv_hits, conv_evictions) =
-        conv_bracket(true, &run);
+        conv_bracket(true, true, &run);
     assert_eq!(
         cases, cases_base,
         "convergence dedup changed the discharged cases"
@@ -1193,7 +1197,9 @@ pub fn render_convergence_rows(rows: &[ConvergenceRow]) -> String {
 /// passing workload per checker with the cache on vs. off.
 #[derive(Debug, Clone)]
 pub struct ConvCheckerStat {
-    /// Checker name (`sim`, `live`, `race`, `linz`, `seqref`).
+    /// Checker name (`sim`, `interp`, `live`, `race`, `linz`, `seqref`);
+    /// `interp` is the `sim` workload on the interpreter tier, every
+    /// other row runs on the bytecode tier.
     pub checker: &'static str,
     /// Cases discharged (identical across cache settings).
     pub cases: usize,
@@ -1208,7 +1214,9 @@ pub struct ConvCheckerStat {
 }
 
 /// Runs each of the five checkers once per cache setting on a ticket
-/// workload (serial, bytecode tier) and reports the per-checker hit and
+/// workload (serial; bytecode tier, plus an `interp` row re-running the
+/// refinement workload on the interpreter tier now that `CRun` exposes a
+/// convergence fingerprint) and reports the per-checker hit and
 /// eviction counters. Verdicts, counts and rendered outcomes are
 /// asserted byte-identical across settings — a dedup-differential in
 /// miniature, run inside the bench so the emitted counters are
@@ -1256,16 +1264,26 @@ pub fn convergence_checker_stats() -> Vec<ConvCheckerStat> {
         Ok(ob) => (ob.cases_checked, format!("{ob:?}")),
         Err(e) => (0, format!("err:{e}")),
     };
-    let checkers: Vec<(&'static str, Box<dyn Fn() -> (usize, String) + '_>)> = vec![
+    let checkers: Vec<(&'static str, bool, Box<dyn Fn() -> (usize, String) + '_>)> = vec![
         (
             "sim",
+            true,
             Box::new(|| {
-                let cases = certify_ticket_contended(4);
+                let cases = certify_ticket_contended(4, true);
+                (cases, format!("certified:{cases}"))
+            }),
+        ),
+        (
+            "interp",
+            false,
+            Box::new(|| {
+                let cases = certify_ticket_contended(4, false);
                 (cases, format!("certified:{cases}"))
             }),
         ),
         (
             "live",
+            true,
             Box::new(|| {
                 canon(check_liveness_tuned(
                     &iface,
@@ -1284,6 +1302,7 @@ pub fn convergence_checker_stats() -> Vec<ConvCheckerStat> {
         ),
         (
             "race",
+            true,
             Box::new(|| {
                 canon(check_race_freedom_tuned(
                     &iface,
@@ -1300,6 +1319,7 @@ pub fn convergence_checker_stats() -> Vec<ConvCheckerStat> {
         ),
         (
             "linz",
+            true,
             Box::new(|| {
                 canon(check_linearizability_tuned(
                     &iface,
@@ -1318,6 +1338,7 @@ pub fn convergence_checker_stats() -> Vec<ConvCheckerStat> {
         ),
         (
             "seqref",
+            true,
             Box::new(|| {
                 canon(check_sequence_refinement_tuned(
                     &iface,
@@ -1336,11 +1357,11 @@ pub fn convergence_checker_stats() -> Vec<ConvCheckerStat> {
         ),
     ];
     let mut stats = Vec::new();
-    for (checker, run) in &checkers {
+    for (checker, bytecode, run) in &checkers {
         let ((cases_base, out_base), atom_steps_base, base_hits, _) =
-            conv_bracket(false, run.as_ref());
+            conv_bracket(*bytecode, false, run.as_ref());
         let ((cases, out), atom_steps_dedup, conv_hits, conv_evictions) =
-            conv_bracket(true, run.as_ref());
+            conv_bracket(*bytecode, true, run.as_ref());
         assert_eq!(
             (cases, &out),
             (cases_base, &out_base),
@@ -1365,8 +1386,9 @@ pub fn render_checker_stats(stats: &[ConvCheckerStat]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "B7 — per-checker convergence counters (serial, bytecode tier, \
-         ticket workloads)"
+        "B7 — per-checker convergence counters (serial, ticket workloads; \
+         bytecode tier except the `interp` row, which re-runs the `sim` \
+         workload on the interpreter tier)"
     );
     let _ = writeln!(
         out,

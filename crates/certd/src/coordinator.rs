@@ -80,6 +80,8 @@ struct WorkState {
     stack: String,
     unit: String,
     fingerprint: String,
+    /// Semantic sharing key — the warm-state key shipped in leases.
+    share: String,
     params: crate::spec::CertParams,
     warm: bool,
     chunks: Vec<ChunkSlot>,
@@ -154,6 +156,7 @@ impl Inner {
             stack: ws.stack.clone(),
             unit: ws.unit.clone(),
             fingerprint: ws.fingerprint.clone(),
+            share: ws.share.clone(),
             params: ws.params.clone(),
             lo: ws.chunks[idx].lo,
             hi: ws.chunks[idx].hi,
@@ -244,6 +247,7 @@ impl Inner {
                 stack: req.stack.clone(),
                 unit: def.name.clone(),
                 fingerprint: def.fingerprint.to_string(),
+                share: def.share.clone(),
                 params: req.params.clone(),
                 warm: req.warm,
                 chunks: (0..nchunks)
@@ -262,7 +266,7 @@ impl Inner {
         self.cond.notify_all();
         loop {
             if let Some(lease) = self.try_lease(true) {
-                let warm = lease.warm.then(|| self.warm.get(&lease.fingerprint));
+                let warm = lease.warm.then(|| self.warm.get(&lease.share));
                 let report = registry::run_lease(&lease, warm.as_ref());
                 self.complete_lease(lease.id, report, false);
                 continue;
@@ -315,6 +319,7 @@ impl Inner {
             report.snapshot_evictions += cr.snapshot_evictions;
             report.upper_hits += cr.upper_hits;
             report.upper_evictions += cr.upper_evictions;
+            report.shared_family_hits += cr.shared_family_hits;
             if idx == cut {
                 report.failure = cr.failure.clone();
             }

@@ -163,7 +163,8 @@ fn render_plain(resp: &CertResponse) {
         println!(
             "unit {unit}: {state} chunks={chunks} remote={remote} retries={retries} \
              checked={checked} skipped={skipped} reduced={reduced} steps={steps} \
-             shared={shared} deep={deep} snap_hits={snap_hits} upper_hits={upper_hits}",
+             shared={shared} deep={deep} snap_hits={snap_hits} upper_hits={upper_hits} \
+             family_hits={family_hits}",
             unit = u.unit,
             state = if u.cache_hit {
                 "cache-hit"
@@ -183,6 +184,7 @@ fn render_plain(resp: &CertResponse) {
             deep = u.deep,
             snap_hits = u.snapshot_hits,
             upper_hits = u.upper_hits,
+            family_hits = u.shared_family_hits,
         );
     }
     println!("cache_hits: {}", resp.cache_hits);

@@ -39,15 +39,21 @@ pub struct Lease {
     pub stack: String,
     /// Unit name within the stack.
     pub unit: String,
-    /// The unit's content fingerprint (warm-state key on the shard).
+    /// The unit's content fingerprint (certificate identity).
     pub fingerprint: String,
+    /// The unit's semantic sharing key — the warm-state key on the
+    /// shard. Units of one stack whose lower machines are content-equal
+    /// carry the same key and share one warm exploration state; equal to
+    /// `fingerprint` when semantic sharing is disabled
+    /// (`CCAL_SHARE_SEMANTIC=0`).
+    pub share: String,
     /// Exploration parameters.
     pub params: CertParams,
     /// Window start (inclusive flat index).
     pub lo: usize,
     /// Window end (exclusive flat index).
     pub hi: usize,
-    /// Reuse warm memo state keyed by `fingerprint`.
+    /// Reuse warm memo state keyed by `share`.
     pub warm: bool,
 }
 
@@ -82,6 +88,11 @@ pub struct ChunkReport {
     pub upper_hits: u64,
     /// Upper-run cache eviction delta.
     pub upper_evictions: u64,
+    /// Reuse events (shared + deep + snapshot + upper hits) served while
+    /// the warm state already held entries at lease start — the
+    /// cross-unit / cross-request family-sharing proxy. Zero on cold or
+    /// first-in-family runs.
+    pub shared_family_hits: u64,
     /// Infrastructure error (registry failure, not a counterexample).
     pub error: Option<String>,
 }
@@ -146,6 +157,7 @@ impl ChunkReport {
             ("snapshot_evictions", int(self.snapshot_evictions)),
             ("upper_hits", int(self.upper_hits)),
             ("upper_evictions", int(self.upper_evictions)),
+            ("shared_family_hits", int(self.shared_family_hits)),
             ("error", opt_str(&self.error)),
         ])
     }
@@ -166,6 +178,13 @@ impl ChunkReport {
             snapshot_evictions: get_u64(j, "snapshot_evictions")?,
             upper_hits: get_u64(j, "upper_hits")?,
             upper_evictions: get_u64(j, "upper_evictions")?,
+            // Tolerant: reports encoded before the counter existed
+            // observed no family sharing.
+            shared_family_hits: j
+                .get("shared_family_hits")
+                .and_then(Json::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .unwrap_or(0),
             error: get_opt_str(j, "error")?,
         })
     }
@@ -178,6 +197,7 @@ impl Lease {
             ("stack", Json::Str(self.stack.clone())),
             ("unit", Json::Str(self.unit.clone())),
             ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("share", Json::Str(self.share.clone())),
             ("params", self.params.to_json()),
             ("lo", int(self.lo as u64)),
             ("hi", int(self.hi as u64)),
@@ -186,11 +206,19 @@ impl Lease {
     }
 
     fn from_json(j: &Json) -> Result<Self, String> {
+        let fingerprint = get_str(j, "fingerprint")?;
+        // Tolerant: leases encoded before semantic sharing keys existed
+        // fall back to the per-unit fingerprint (the old warm key).
+        let share = match j.get("share").and_then(Json::as_str) {
+            Some(s) => s.to_owned(),
+            None => fingerprint.clone(),
+        };
         Ok(Lease {
             id: get_u64(j, "id")?,
             stack: get_str(j, "stack")?,
             unit: get_str(j, "unit")?,
-            fingerprint: get_str(j, "fingerprint")?,
+            fingerprint,
+            share,
             params: CertParams::from_json(get(j, "params")?)?,
             lo: get_usize(j, "lo")?,
             hi: get_usize(j, "hi")?,
@@ -425,6 +453,7 @@ mod tests {
             stack: "ticket".into(),
             unit: "funlift/acq".into(),
             fingerprint: "a".repeat(32),
+            share: "b".repeat(32),
             params: CertParams::default(),
             lo: 4,
             hi: 9,
@@ -436,6 +465,7 @@ mod tests {
             failure: Some("simulation fails".into()),
             steps: 1234,
             snapshot_hits: 3,
+            shared_family_hits: 3,
             ..ChunkReport::default()
         };
         let msgs = [
@@ -468,6 +498,43 @@ mod tests {
         for msg in &msgs {
             assert_eq!(msg, &round_trip(msg), "{msg:?}");
         }
+    }
+
+    #[test]
+    fn legacy_frames_without_sharing_fields_decode() {
+        // A lease encoded before semantic sharing keys existed carries no
+        // `share`: it must decode with the fingerprint as the warm key
+        // (the old behavior). Likewise a report without the counter.
+        let lease = Lease {
+            id: 1,
+            stack: "ticket".into(),
+            unit: "funlift/acq".into(),
+            fingerprint: "a".repeat(32),
+            share: "b".repeat(32),
+            params: CertParams::default(),
+            lo: 0,
+            hi: 1,
+            warm: true,
+        };
+        let mut j = lease.to_json();
+        let Json::Obj(fields) = &mut j else {
+            panic!("leases encode as objects");
+        };
+        fields.remove("share");
+        let back = Lease::from_json(&j).expect("tolerant decode");
+        assert_eq!(back.share, lease.fingerprint);
+
+        let report = ChunkReport {
+            shared_family_hits: 9,
+            ..ChunkReport::default()
+        };
+        let mut j = report.to_json();
+        let Json::Obj(fields) = &mut j else {
+            panic!("reports encode as objects");
+        };
+        fields.remove("shared_family_hits");
+        let back = ChunkReport::from_json(&j).expect("tolerant decode");
+        assert_eq!(back.shared_family_hits, 0);
     }
 
     #[test]

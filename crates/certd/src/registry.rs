@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use ccal_core::contexts::ContextGen;
 use ccal_core::env::EnvContext;
-use ccal_core::fingerprint::{ContentHash, ContentHasher};
+use ccal_core::fingerprint::{share_key, ContentHash, ContentHasher, ShareKey};
 use ccal_core::id::{Loc, Pid};
 use ccal_core::layer::LayerInterface;
 use ccal_core::prefix;
@@ -51,6 +51,11 @@ pub struct UnitDef {
     pub name: String,
     /// Content hash over everything the verdict depends on.
     pub fingerprint: ContentHash,
+    /// Semantic sharing key (32 hex digits): the content identity of the
+    /// unit's lower-machine exploration family. Units with equal keys
+    /// share one warm exploration state; equals the fingerprint rendering
+    /// when semantic sharing is disabled (`CCAL_SHARE_SEMANTIC=0`).
+    pub share: String,
     /// Flat grid size (`contexts × argument vectors`), the leaseable
     /// index space.
     pub ncases: usize,
@@ -104,10 +109,12 @@ impl CtxSpec {
                 .with_player(Pid(1), Arc::new(ScratchPlayer::new(Pid(1), buggy::SCRATCH_A)))
                 .with_player(Pid(2), Arc::new(ScratchPlayer::new(Pid(2), buggy::SCRATCH_B))),
         };
-        // `with_family` must stay the *last* builder call: the structural
-        // setters re-key the family to keep accidental cross-family memo
-        // aliasing impossible, and here the family is deliberately pinned
-        // to the unit fingerprint for warm cross-request sharing.
+        // The structural setters re-key the family to keep accidental
+        // cross-family memo aliasing impossible, so `with_family` must
+        // come after them — `ContextGen` debug-asserts this ordering.
+        // The pinned family is the unit's semantic sharing key (or its
+        // fingerprint with `CCAL_SHARE_SEMANTIC=0`), chosen by
+        // `run_unit`, so content-equal lower machines share warm state.
         let gen = gen
             .with_schedule_len(params.schedule_len)
             .with_por(params.por);
@@ -344,6 +351,39 @@ fn unit_fingerprint(stack: &str, unit: &Unit, params: &CertParams) -> ContentHas
     h.finish()
 }
 
+/// The unit's **semantic sharing key**: the content identity of its
+/// lower-machine exploration family ([`share_key`]). Where
+/// [`unit_fingerprint`] answers "may this *verdict* be reused?", the
+/// sharing key answers "may this *exploration state* be reused?" — it
+/// deliberately drops the unit name, the checked primitive, its
+/// arguments, the setup calls, the upper interface and the relation,
+/// all of which vary across the units of one family and are carried by
+/// the kernel's content-derived inner indices instead. The four
+/// `funlift/*` ticket obligations, for example, check different
+/// primitives of one lower machine over one context grid: equal keys,
+/// one warm state.
+fn unit_share_key(unit: &Unit, params: &CertParams) -> ShareKey {
+    let sim = sim_options(params, unit, None, None);
+    share_key(
+        &unit.sources,
+        &unit.lower,
+        PID,
+        |h| unit.ctx.describe(h, params),
+        &sim,
+    )
+}
+
+/// The warm-state key `run_unit` pins the exploration family to: the
+/// semantic sharing key, or the certificate fingerprint when semantic
+/// sharing is disabled (restoring strictly per-unit reuse).
+fn unit_share_string(stack: &str, unit: &Unit, params: &CertParams) -> String {
+    if prefix::share_semantic_effective() {
+        unit_share_key(unit, params).to_string()
+    } else {
+        unit_fingerprint(stack, unit, params).to_string()
+    }
+}
+
 /// Process-global count of full stack decompositions (front-end runs,
 /// interface construction, per-unit fingerprinting). The manifest fast
 /// path is asserted against this: a fully-clean recertify must answer
@@ -390,6 +430,7 @@ pub fn stack_units(stack: &str, params: &CertParams) -> Result<Vec<UnitDef>, Str
             Ok(UnitDef {
                 name: u.name.clone(),
                 fingerprint: unit_fingerprint(stack, u, params),
+                share: unit_share_string(stack, u, params),
                 ncases,
             })
         })
@@ -418,8 +459,17 @@ pub fn run_unit(
         .iter()
         .find(|u| u.name == unit_name)
         .ok_or_else(|| format!("unknown unit `{unit_name}` in stack `{stack}`"))?;
-    let fp = unit_fingerprint(stack, unit, params);
-    let contexts = unit.ctx.build(params, Some(fp.low64()));
+    // Pin the schedule-key family to the semantic sharing key so
+    // content-equal lower machines (across the units of one stack, and
+    // across requests through the warm map) address one memo/snapshot
+    // key space; with semantic sharing disabled, fall back to the unit
+    // fingerprint — strictly per-unit reuse, as before.
+    let family = if prefix::share_semantic_effective() {
+        unit_share_key(unit, params).family()
+    } else {
+        unit_fingerprint(stack, unit, params).low64()
+    };
+    let contexts = unit.ctx.build(params, Some(family));
     let sim = sim_options(params, unit, window, warm);
     match check_prim_refinement(
         &unit.lower,
@@ -445,10 +495,14 @@ pub fn run_unit(
     }
 }
 
-/// Warm memo state keyed by unit fingerprint, shared by a daemon or
-/// shard process across requests. Keying by *content* makes the reuse
-/// sound: equal fingerprint implies equal checked computation, so a memo
-/// entry can only be hit by a re-run of the identical unit.
+/// Warm memo state keyed by the unit's **semantic sharing key**, shared
+/// by a daemon or shard process across requests. Keying by *content*
+/// makes the reuse sound: equal keys imply content-equal lower machines
+/// explored over one context-grid structure, so every entry a lookup can
+/// hit describes the identical deterministic computation — whether the
+/// hitter is a re-run of the same unit, a different unit of the same
+/// family, or a later request. (With `CCAL_SHARE_SEMANTIC=0` the key
+/// degenerates to the unit fingerprint and reuse is strictly per-unit.)
 #[derive(Debug, Default)]
 pub struct WarmMap {
     map: Mutex<std::collections::HashMap<String, SimWarm>>,
@@ -460,14 +514,14 @@ impl WarmMap {
         WarmMap::default()
     }
 
-    /// The warm state for `fingerprint`, created on first use. `SimWarm`
-    /// clones share their caches, so the returned handle keeps feeding
-    /// the map's entry.
-    pub fn get(&self, fingerprint: &str) -> SimWarm {
+    /// The warm state for sharing key `share`, created on first use.
+    /// `SimWarm` clones share their caches, so the returned handle keeps
+    /// feeding the map's entry.
+    pub fn get(&self, share: &str) -> SimWarm {
         self.map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .entry(fingerprint.to_owned())
+            .entry(share.to_owned())
             .or_default()
             .clone()
     }
@@ -511,6 +565,16 @@ pub fn run_lease(lease: &Lease, warm: Option<&SimWarm>) -> ChunkReport {
         report.snapshot_evictions = ws.snapshot_evictions.saturating_sub(w0.snapshot_evictions);
         report.upper_hits = ws.upper_hits.saturating_sub(w0.upper_hits);
         report.upper_evictions = ws.upper_evictions.saturating_sub(w0.upper_evictions);
+        // Family-sharing proxy: reuse deltas count as *family* sharing
+        // only when the warm state already held entries at lease start —
+        // a cold first-in-family run self-shares within its own grid,
+        // which is not cross-unit/cross-request reuse. (The proxy still
+        // includes within-run self-sharing of warm-started runs; it is a
+        // reuse indicator, not an exact cross-unit count.)
+        if w0.memo_entries > 0 || w0.snapshot_entries > 0 {
+            report.shared_family_hits =
+                report.shared + report.deep + report.snapshot_hits + report.upper_hits;
+        }
     }
     report
 }
@@ -576,6 +640,56 @@ mod tests {
         assert_ne!(manifest_key("qlock", &base), manifest_key("qlock", &longer));
         assert_ne!(manifest_key("qlock", &base), manifest_key("ticket", &base));
         assert_eq!(manifest_key("qlock", &base), manifest_key("qlock", &base));
+    }
+
+    #[test]
+    fn semantic_share_keys_group_units_into_families() {
+        // Pin the mode: the suite also runs under CCAL_SHARE_SEMANTIC=0,
+        // where shares legitimately degenerate to fingerprints.
+        let _on = prefix::ShareSemanticOverride::force(true);
+        let params = CertParams::default();
+        let ticket = stack_units("ticket", &params).expect("resolves");
+        let share = |name: &str| {
+            ticket
+                .iter()
+                .find(|u| u.name == name)
+                .unwrap_or_else(|| panic!("unit {name}"))
+                .share
+                .clone()
+        };
+        // The four funlift units check different primitives of ONE lower
+        // machine (M1 over L0) on one grid: one family. Likewise loglift
+        // (spec-only lock_low) and client (M2 over L1).
+        for u in ["funlift/f", "funlift/g", "funlift/rel"] {
+            assert_eq!(share(u), share("funlift/acq"), "{u}");
+        }
+        for u in ["loglift/f", "loglift/g", "loglift/rel"] {
+            assert_eq!(share(u), share("loglift/acq"), "{u}");
+        }
+        let fams: std::collections::BTreeSet<_> =
+            ticket.iter().map(|u| u.share.clone()).collect();
+        assert_eq!(fams.len(), 3, "funlift / loglift / client families");
+        // Fingerprints still key certificates strictly per-unit.
+        let fps: std::collections::BTreeSet<_> =
+            ticket.iter().map(|u| u.fingerprint).collect();
+        assert_eq!(fps.len(), ticket.len());
+
+        // qlock: acq_q and rel_q differ only in checked primitive and
+        // setup — both excluded from the sharing key — so they form one
+        // family (rel_q's setup resumes acq_q's completed calls).
+        let qlock = stack_units("qlock", &params).expect("resolves");
+        assert_eq!(qlock.len(), 2);
+        assert_eq!(qlock[0].share, qlock[1].share, "one qlock family");
+        assert_ne!(qlock[0].fingerprint, qlock[1].fingerprint);
+    }
+
+    #[test]
+    fn disabling_semantic_sharing_restores_per_unit_keys() {
+        let _off = prefix::ShareSemanticOverride::force(false);
+        let params = CertParams::default();
+        for u in stack_units("ticket", &params).expect("resolves") {
+            assert_eq!(u.share, u.fingerprint.to_string(), "{}", u.name);
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The shard worker: connects to the daemon, polls for chunk leases,
 //! runs each leased window through the registry, and reports back. A
-//! long-lived shard keeps its own warm memo state per unit fingerprint,
-//! so re-checks of known units start warm on the shard too.
+//! long-lived shard keeps its own warm memo state per semantic sharing
+//! key (shipped in the lease frame), so re-checks of known units — and
+//! sibling units of an already-explored family — start warm on the
+//! shard too.
 
 use std::io;
 use std::thread;
@@ -66,7 +68,7 @@ pub fn run_shard(addr: &Addr, opts: &ShardOptions) -> io::Result<ShardExit> {
                 if !opts.delay.is_zero() {
                     thread::sleep(opts.delay);
                 }
-                let warm_state = lease.warm.then(|| warm.get(&lease.fingerprint));
+                let warm_state = lease.warm.then(|| warm.get(&lease.share));
                 let report = registry::run_lease(&lease, warm_state.as_ref());
                 if write_msg(
                     &mut conn,

@@ -123,6 +123,11 @@ pub struct UnitReport {
     pub upper_hits: u64,
     /// Upper-run cache eviction delta.
     pub upper_evictions: u64,
+    /// Reuse events served while the unit's warm state already held
+    /// entries at lease start, summed over the unit's windows — the
+    /// cross-unit / cross-request family-sharing proxy (semantic sharing
+    /// keys let the units of one family feed each other's warm state).
+    pub shared_family_hits: u64,
 }
 
 /// The daemon's answer to a [`CertRequest`]. Units appear in obligation
@@ -283,6 +288,7 @@ impl UnitReport {
             ("snapshot_evictions", int(self.snapshot_evictions)),
             ("upper_hits", int(self.upper_hits)),
             ("upper_evictions", int(self.upper_evictions)),
+            ("shared_family_hits", int(self.shared_family_hits)),
         ])
     }
 
@@ -309,6 +315,13 @@ impl UnitReport {
             snapshot_evictions: get_u64(j, "snapshot_evictions")?,
             upper_hits: get_u64(j, "upper_hits")?,
             upper_evictions: get_u64(j, "upper_evictions")?,
+            // Tolerant: responses encoded before the counter existed
+            // observed no family sharing.
+            shared_family_hits: j
+                .get("shared_family_hits")
+                .and_then(Json::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .unwrap_or(0),
         })
     }
 }
@@ -395,6 +408,7 @@ mod tests {
                 chunks: 4,
                 retries: 1,
                 steps: 99,
+                shared_family_hits: 5,
                 ..UnitReport::default()
             }],
             cache_hits: 0,

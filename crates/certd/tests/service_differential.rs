@@ -495,6 +495,10 @@ fn cache_kill_switch_forces_recertification() {
 #[test]
 fn warm_state_is_reused_across_requests() {
     let _guard = serial();
+    // The cross-unit assertions below are about *semantic* families;
+    // pin the mode so the CCAL_SHARE_SEMANTIC=0 suite rerun still
+    // exercises them (the hatch's pinned behaviour has its own tests).
+    let _on = prefix::ShareSemanticOverride::force(true);
     let p = CertParams::default();
     let (_daemon, addr) = fresh_daemon();
     let mut req = CertRequest::new("qlock");
@@ -520,4 +524,71 @@ fn warm_state_is_reused_across_requests() {
         first.total_steps,
         second.total_steps
     );
+    // qlock's two units share one semantic family, so `rel_q` starts
+    // warm on the *first* request — cross-unit reuse, surfaced by the
+    // per-unit family-hits counter.
+    assert!(
+        first.units[1].shared_family_hits > 0,
+        "rel_q must reuse acq_q's warm family state on the first request \
+         (got {:?})",
+        first.units.iter().map(|u| u.shared_family_hits).collect::<Vec<_>>()
+    );
+    for u in &second.units {
+        assert!(
+            u.shared_family_hits > 0,
+            "unit {}: a warm re-request must report family hits",
+            u.unit
+        );
+    }
+}
+
+/// Semantic sharing keys group the ticket stack's nine units into three
+/// families, so sibling units start warm within the *first* request —
+/// and every later unit starts warm on a second request. The per-unit
+/// `shared_family_hits` counter makes the reuse observable end to end.
+#[test]
+fn ticket_units_share_family_state_within_and_across_requests() {
+    let _guard = serial();
+    // Family grouping is the semantic-sharing feature itself — pin the
+    // mode so the CCAL_SHARE_SEMANTIC=0 suite rerun keeps covering it.
+    let _on = prefix::ShareSemanticOverride::force(true);
+    let (_daemon, addr) = fresh_daemon();
+    let mut req = CertRequest::new("ticket");
+    req.params = CertParams::default();
+    req.use_cache = false;
+    req.warm = true;
+    let first = ccal_certd::certify(&addr, &req).expect("daemon answers");
+    assert!(first.certified, "ticket certifies");
+    let hits: Vec<u64> = first.units.iter().map(|u| u.shared_family_hits).collect();
+    // Pipeline order: funlift/{acq,f,g,rel}, loglift/{acq,f,g,rel},
+    // client/foo. Indices 1–3 and 5–7 follow a sibling of their family;
+    // indices 4 and 8 open new families and must report nothing — the
+    // counter is gated on the warm state being non-empty at lease start.
+    for i in [1, 2, 3, 5, 6, 7] {
+        assert!(
+            hits[i] > 0,
+            "unit {} must start warm from its family sibling (hits {hits:?})",
+            first.units[i].unit
+        );
+    }
+    for i in [4, 8] {
+        assert_eq!(
+            hits[i], 0,
+            "unit {} opens a new family cold (hits {hits:?})",
+            first.units[i].unit
+        );
+    }
+    let second = ccal_certd::certify(&addr, &req).expect("daemon answers");
+    assert_eq!(first.certified, second.certified, "warm reuse preserves the verdict");
+    for (a, b) in first.units.iter().zip(&second.units) {
+        assert_eq!(a.cases_checked, b.cases_checked, "unit {}: counts", b.unit);
+        assert_eq!(a.failure, b.failure, "unit {}: evidence", b.unit);
+    }
+    for u in &second.units[1..] {
+        assert!(
+            u.shared_family_hits > 0,
+            "unit {}: every later unit starts warm on a re-request",
+            u.unit
+        );
+    }
 }

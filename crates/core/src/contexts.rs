@@ -42,6 +42,11 @@ pub struct ContextGen {
     /// fuel). Cloning the generator keeps the family — a clone mints
     /// contexts identical to the original's.
     family: u64,
+    /// Whether [`ContextGen::with_family`] pinned the family. Structural
+    /// setters debug-assert against running *after* the pin: they would
+    /// silently discard it (resetting to a fresh counter value), which is
+    /// never what a caller pinning for cross-request sharing wants.
+    pinned: bool,
 }
 
 impl ContextGen {
@@ -62,7 +67,17 @@ impl ContextGen {
             fuel: EnvContext::DEFAULT_FUEL,
             por: por::por_enabled(),
             family: prefix::next_family(),
+            pinned: false,
         }
+    }
+
+    fn reset_family(&mut self, setter: &str) {
+        debug_assert!(
+            !self.pinned,
+            "ContextGen::{setter} after with_family would silently discard \
+             the pinned prefix-sharing family; pin the family last"
+        );
+        self.family = prefix::next_family();
     }
 
     /// Sets the strategy of environment participant `pid` in every
@@ -71,7 +86,7 @@ impl ContextGen {
     /// outcomes must not be shared.
     pub fn with_player(mut self, pid: Pid, strategy: Arc<dyn Strategy>) -> Self {
         self.players.insert(pid, strategy);
-        self.family = prefix::next_family();
+        self.reset_family("with_player");
         self
     }
 
@@ -81,7 +96,7 @@ impl ContextGen {
     /// differently).
     pub fn with_schedule_len(mut self, len: usize) -> Self {
         self.schedule_len = len;
-        self.family = prefix::next_family();
+        self.reset_family("with_schedule_len");
         self
     }
 
@@ -97,7 +112,7 @@ impl ContextGen {
     /// run's behavior).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
-        self.family = prefix::next_family();
+        self.reset_family("with_fuel");
         self
     }
 
@@ -111,15 +126,18 @@ impl ContextGen {
 
     /// Pins the prefix-sharing family id instead of the process-local
     /// counter value, so *separately constructed* generators — across
-    /// requests or processes — mint contexts whose schedule keys can share
-    /// memoized runs. The caller asserts that every generator pinned to
-    /// `family` is configured identically (domain, players, schedule
-    /// length, fuel): the certification service derives the family from
-    /// the unit's content fingerprint, which covers exactly those inputs.
-    /// Call *last* — the other builder methods reset the family to a
-    /// fresh counter value.
+    /// units, requests or processes — mint contexts whose schedule keys
+    /// can share memoized runs. The caller asserts that every generator
+    /// pinned to `family` is configured identically (domain, players,
+    /// schedule length, fuel): the certification service derives the
+    /// family from the unit's semantic sharing key
+    /// ([`crate::fingerprint::share_key`]), which covers exactly those
+    /// inputs. Call *last* — the structural builder methods reset the
+    /// family to a fresh counter value, and debug-assert if invoked
+    /// after a pin rather than discarding it silently.
     pub fn with_family(mut self, family: u64) -> Self {
         self.family = family;
+        self.pinned = true;
         self
     }
 
@@ -346,6 +364,28 @@ mod tests {
                 .iter()
                 .any(|c| c.is_por_equivalent())
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pin the family last")]
+    fn structural_setter_after_family_pin_is_rejected() {
+        let _ = ContextGen::new(vec![Pid(0)])
+            .with_family(7)
+            .with_schedule_len(2);
+    }
+
+    #[test]
+    fn non_structural_setters_keep_a_pinned_family() {
+        // with_por / with_max_contexts do not reset the family, so they
+        // may legally follow a pin.
+        let ctxs = ContextGen::new(vec![Pid(0), Pid(1)])
+            .with_schedule_len(1)
+            .with_family(99)
+            .with_por(false)
+            .with_max_contexts(16)
+            .contexts();
+        assert!(ctxs.iter().all(|c| c.schedule_key().unwrap().family() == 99));
     }
 
     #[test]

@@ -221,13 +221,20 @@ pub struct Kernel<S, T> {
     deep: bool,
     window: Option<(usize, usize)>,
     /// The convergence cache: canonical state fingerprint + remaining
-    /// schedule suffix → the suffix's outcome. Per-kernel (never warm
-    /// across invocations — fingerprints are canonical per computation,
-    /// not content-addressed across computations). The value carries
-    /// `(outcome, donor log length at the cut, donor total consumed)` so
-    /// a hit can graft the donor's suffix log onto the borrower's prefix
-    /// and memoize at the donor's full consumed depth.
-    conv: Option<BoundedCache<ConvKey, (T, usize, usize)>>,
+    /// schedule suffix → the suffix's outcome. Per-kernel by default;
+    /// caller-owned (warm across invocations) via
+    /// [`Kernel::with_state_conv`], sound because the key carries the
+    /// schedule family and the content-derived inner index — equal keys
+    /// imply the same computation. The value carries `(outcome, donor log
+    /// length at the cut, donor total consumed)` so a hit can graft the
+    /// donor's suffix log onto the borrower's prefix and memoize at the
+    /// donor's full consumed depth.
+    conv: Option<std::sync::Arc<BoundedCache<ConvKey, (T, usize, usize)>>>,
+    /// Hit/eviction counts of the (possibly shared) convergence cache at
+    /// kernel construction, so per-invocation accounting stays exact when
+    /// the cache outlives the kernel.
+    conv_hits_base: u64,
+    conv_evictions_base: u64,
 }
 
 /// Convergence-cache key: `(state fingerprint, schedule family, inner
@@ -236,7 +243,7 @@ pub struct Kernel<S, T> {
 /// computation, same sub-case, and the exact same schedule still to be
 /// delivered — under which execution is deterministic, so the suffix
 /// outcome is forced.
-type ConvKey = (u128, u64, usize, Vec<crate::id::Pid>);
+pub type ConvKey = (u128, u64, usize, Vec<crate::id::Pid>);
 
 impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
     /// Creates a kernel for one checker invocation, with fresh (cold)
@@ -263,8 +270,26 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
         memo: std::sync::Arc<PrefixMemo<T>>,
         snapshots: std::sync::Arc<SnapshotTrie<S>>,
     ) -> Self {
+        let conv = opts
+            .state_dedup
+            .then(|| std::sync::Arc::new(BoundedCache::new(opts.snapshot_cap.max(1))));
+        Self::with_state_conv(opts, memo, snapshots, conv)
+    }
+
+    /// [`Kernel::with_state`] with a *caller-owned* convergence cache as
+    /// well (ignored when `state_dedup` is off), so a warm store can serve
+    /// convergence hits across invocations. The caller must key sharing by
+    /// a semantic family (equal families ⇒ equal computations), exactly as
+    /// for the memo and the snapshot trie.
+    pub fn with_state_conv(
+        opts: &ExploreOptions,
+        memo: std::sync::Arc<PrefixMemo<T>>,
+        snapshots: std::sync::Arc<SnapshotTrie<S>>,
+        conv: Option<std::sync::Arc<BoundedCache<ConvKey, (T, usize, usize)>>>,
+    ) -> Self {
         let _ = kernel_enabled();
         let share = opts.prefix_share;
+        let conv = opts.state_dedup.then(|| conv).flatten();
         Self {
             memo,
             snapshots,
@@ -273,9 +298,9 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
             share,
             deep: share && opts.deep_share,
             window: opts.window,
-            conv: opts
-                .state_dedup
-                .then(|| BoundedCache::new(opts.snapshot_cap.max(1))),
+            conv_hits_base: conv.as_ref().map_or(0, |c| c.hits()),
+            conv_evictions_base: conv.as_ref().map_or(0, |c| c.evictions()),
+            conv,
         }
     }
 
@@ -434,10 +459,13 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
         }
     }
 
-    /// Lookups answered by this kernel's convergence cache (0 when dedup
-    /// is off).
+    /// Lookups answered by this kernel's convergence cache *during this
+    /// invocation* (0 when dedup is off) — a warm cache's prior hits are
+    /// excluded via the construction-time baseline.
     pub fn conv_hits(&self) -> u64 {
-        self.conv.as_ref().map_or(0, BoundedCache::hits)
+        self.conv
+            .as_ref()
+            .map_or(0, |c| c.hits() - self.conv_hits_base)
     }
 
     /// The exploration loop: dispatches the `(context × sub-case)` grid
@@ -540,9 +568,11 @@ impl<S: ForkSnapshot, T: Clone + Send> Kernel<S, T> {
 impl<S, T> Drop for Kernel<S, T> {
     fn drop(&mut self) {
         // Surface the per-invocation convergence-cache evictions into the
-        // process-wide counter the benches and differential tests read.
+        // process-wide counter the benches and differential tests read —
+        // deltas against the construction-time baseline, so a warm cache
+        // shared across invocations is never double-counted.
         if let Some(conv) = &self.conv {
-            let n = conv.evictions();
+            let n = conv.evictions() - self.conv_evictions_base;
             if n > 0 {
                 crate::prefix::record_conv_evictions(n);
             }
@@ -920,6 +950,81 @@ mod tests {
         assert_eq!(cache2.get(&"new"), None);
         assert_eq!(cache2.get(&"old"), Some(1));
         assert_eq!(cache2.get(&"incoming"), Some(9));
+    }
+
+    #[test]
+    fn bounded_cache_never_serves_across_share_families() {
+        // Under semantic sharing keys two computations may interleave
+        // their entries in one cache, keyed apart only by the family (and
+        // inner) components of the key. A lookup keyed to one family must
+        // never be answered by the other's entry, even when every other
+        // key component — state fingerprint, inner index, schedule
+        // suffix — collides exactly.
+        let cache: BoundedCache<ConvKey, &'static str> = BoundedCache::new(64);
+        let fam_a = 11_u64;
+        let fam_b = 22_u64;
+        let suffix = vec![crate::id::Pid(0), crate::id::Pid(1)];
+        cache.insert((0xfeed, fam_a, 7, suffix.clone()), 1, "a");
+        assert_eq!(cache.get(&(0xfeed, fam_b, 7, suffix.clone())), None);
+        assert_eq!(cache.get(&(0xfeed, fam_a, 8, suffix.clone())), None);
+        assert_eq!(cache.get(&(0xfeed, fam_a, 7, suffix.clone())), Some("a"));
+        cache.insert((0xfeed, fam_b, 7, suffix.clone()), 1, "b");
+        assert_eq!(cache.get(&(0xfeed, fam_a, 7, suffix.clone())), Some("a"));
+        assert_eq!(cache.get(&(0xfeed, fam_b, 7, suffix)), Some("b"));
+    }
+
+    #[test]
+    fn bounded_cache_concurrent_two_family_inserts_stay_isolated() {
+        // Two "share families" hammer one uncapped cache concurrently with
+        // deliberately colliding fingerprint/inner/suffix components: every
+        // entry must land under its own family, every lookup must be
+        // answered only by its own family's value, and the counters must
+        // stay exact under contention.
+        let cache: std::sync::Arc<BoundedCache<(u128, u64, usize), u64>> =
+            std::sync::Arc::new(BoundedCache::new(10_000));
+        let per = 128_usize;
+        std::thread::scope(|s| {
+            for fam in [1_u64, 2_u64] {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..per {
+                        cache.insert((i as u128, fam, i), i, fam * 1000 + i as u64);
+                        assert_eq!(
+                            cache.get(&(i as u128, fam, i)),
+                            Some(fam * 1000 + i as u64)
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2 * per);
+        assert_eq!(cache.hits(), 2 * per as u64);
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..per {
+            assert_eq!(cache.get(&(i as u128, 1, i)), Some(1000 + i as u64));
+            assert_eq!(cache.get(&(i as u128, 2, i)), Some(2000 + i as u64));
+        }
+    }
+
+    #[test]
+    fn bounded_cache_eviction_under_shared_families_is_depth_only() {
+        // When a full cache holds entries from two families, the
+        // deepest-first eviction picks victims by depth alone — it must
+        // not prefer (or spare) either family — and the surviving entries
+        // still answer only their own family's lookups.
+        let cache: BoundedCache<(u64, usize), &'static str> = BoundedCache::new(8);
+        for i in 0..4 {
+            cache.insert((1, i), i, "fam1");
+            cache.insert((2, i), i + 4, "fam2");
+        }
+        // Full at 8; an incoming shallow entry squeezes out the deepest
+        // batch (8/8 = 1 victim): family 2's depth-7 entry.
+        cache.insert((1, 100), 0, "fam1-new");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(&(2, 3)), None);
+        assert_eq!(cache.get(&(1, 3)), Some("fam1"));
+        assert_eq!(cache.get(&(2, 2)), Some("fam2"));
+        assert_eq!(cache.get(&(1, 100)), Some("fam1-new"));
     }
 
     #[derive(Clone)]

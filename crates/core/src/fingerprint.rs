@@ -207,6 +207,80 @@ impl ContentHasher {
     }
 }
 
+/// A **semantic sharing key**: the content identity of one lower-machine
+/// exploration *family*. Two checks with equal `ShareKey`s explore the
+/// same lower machine (same sources, interfaces and footprints) for the
+/// same participant over the same context-grid structure under the same
+/// exploration-relevant options — so their `PrefixMemo` / `SnapshotTrie` /
+/// convergence-cache entries describe the same deterministic computations
+/// and may safely live in one warm store, keyed apart only by the
+/// per-computation inner index (setup history + called primitive +
+/// arguments, see `crate::sim`).
+///
+/// Deliberately *excluded*: the unit and stack names, the checked
+/// primitive and its arguments, the setup calls, the upper interface and
+/// the relation (all of which vary across the units of one stack and are
+/// carried by the inner index or the upper-cache signature instead), and
+/// pure dispatch knobs (`workers`, `window`, `warm`) that cannot change
+/// what any shared entry means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShareKey(pub ContentHash);
+
+impl ShareKey {
+    /// The schedule-key family this sharing key pins
+    /// ([`crate::prefix::ScheduleKey::family`]).
+    pub fn family(&self) -> u64 {
+        self.0.low64()
+    }
+}
+
+impl fmt::Display for ShareKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Computes the [`ShareKey`] for one lower-machine exploration family.
+///
+/// `sources` are the ClightX module sources backing the lower machine (in
+/// a fixed caller order; empty for spec-only machines) — they carry the
+/// primitive *bodies*, which [`ContentHasher::interface`] deliberately
+/// does not, so two machines differing only in one primitive body get
+/// distinct keys. `describe_ctx` must hash the full structure of the
+/// context grid the check explores (players, rounds, schedule length,
+/// POR) — everything that determines which `ScheduleKey` scripts exist
+/// and what the partial-order reduction prunes.
+pub fn share_key(
+    sources: &[(&str, &str)],
+    lower: &LayerInterface,
+    pid: crate::id::Pid,
+    describe_ctx: impl FnOnce(&mut ContentHasher),
+    opts: &crate::sim::SimOptions,
+) -> ShareKey {
+    let mut h = ContentHasher::new();
+    h.section("ccal.share-key.v1");
+    h.usize("nsources", sources.len());
+    for (name, src) in sources {
+        h.str("source.name", name);
+        h.str("source.text", src);
+    }
+    h.interface("lower", lower);
+    h.u64("pid", u64::from(pid.0));
+    h.section("contexts");
+    describe_ctx(&mut h);
+    h.section("sim_options");
+    h.u64("fuel", opts.fuel);
+    h.bool("compare_rets", opts.compare_rets);
+    h.bool("dedup", opts.dedup);
+    h.bool("prefix_share", opts.prefix_share);
+    h.bool("deep_share", opts.deep_share);
+    h.bool("bytecode", opts.bytecode);
+    h.bool("state_dedup", opts.state_dedup);
+    h.usize("snapshot_cap", opts.snapshot_cap);
+    h.usize("upper_cache_cap", opts.upper_cache_cap);
+    ShareKey(h.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

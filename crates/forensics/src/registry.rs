@@ -351,6 +351,7 @@ pub fn investigate(fx: &Fixture, cfg: &RunConfig) -> Result<TraceArtifact, Strin
             // the artifact is self-describing about its provenance.
             bytecode: ccal_core::prefix::bytecode_effective(),
             state_dedup: false,
+            share_semantic: ccal_core::prefix::share_semantic_effective(),
         },
         context: outcome.context,
         expected: ExpectedFailure {

@@ -6,6 +6,10 @@
 #             runs entirely on the shards; recertifying the unchanged
 #             stack is answered from the content-addressed store with
 #             ZERO exploration steps.
+#   stage 1b — a single shard certifies the two-unit qlock stack; the
+#             second unit reports family_hits > 0, proving the semantic
+#             ShareKey in the lease frame let it reuse the first unit's
+#             warm exploration state.
 #   stage 2 — a delayed shard is SIGKILLed mid-lease; the re-leased run
 #             produces the bit-identical verdict and index-least
 #             counterexample that the healthy baseline produced.
@@ -101,6 +105,26 @@ grep -q '"certified": true' "$TMP/ticket2.json"
 # Healthy-shard baseline for the failing stack (exit 1 is the verdict).
 "$BIN" certify scratch --connect "$ADDR" --no-cache --json >"$TMP/scratch_base.json" || true
 grep -q '"certified": false' "$TMP/scratch_base.json"
+stop_daemon
+
+echo "-- certd stage 1b: semantic families share warm state across a request's units --"
+# A single shard receives both qlock leases; the lease frame carries the
+# semantic ShareKey, and both units hash to one family, so the second
+# unit (rel_q) starts from the first unit's warm exploration state —
+# family_hits must be nonzero for rel_q and zero for the family-opening
+# acq_q.
+start_daemon a2
+start_shard
+sleep 1 # let the shard connect and start polling
+"$BIN" certify qlock --connect "$ADDR" --no-cache >"$TMP/qlock1.txt"
+grep -q '^verdict: CERTIFIED' "$TMP/qlock1.txt"
+grep -q '^unit acq_q: .*remote=1 .*family_hits=0$' "$TMP/qlock1.txt"
+if grep -q '^unit rel_q: .*family_hits=0$' "$TMP/qlock1.txt"; then
+  echo "certd e2e: rel_q did not reuse acq_q's warm family state" >&2
+  grep '^unit ' "$TMP/qlock1.txt" >&2
+  exit 1
+fi
+grep -q '^unit rel_q: .*remote=1 .*family_hits=[1-9]' "$TMP/qlock1.txt"
 stop_daemon
 
 echo "-- certd stage 2: SIGKILL a shard mid-lease; verdict and evidence unchanged --"

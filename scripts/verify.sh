@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 (release build + root-package tests), the
 # parallel-vs-serial, POR, prefix-sharing, exploration-kernel,
-# bytecode-tier, and convergence-dedup differential suites (each
-# optimization both on and under its CCAL_POR=0 / CCAL_PREFIX_SHARE=0 /
-# CCAL_PREFIX_DEEP=0 / CCAL_BYTECODE=0 / CCAL_STATE_DEDUP=0 escape
-# hatch; the kernel differential also reruns under the obsolete
-# CCAL_KERNEL=0 hatch), the engine regression tests, the full workspace
-# tests (on both execution tiers and with the convergence cache off),
+# bytecode-tier, convergence-dedup, and semantic-sharing differential
+# suites (each optimization both on and under its CCAL_POR=0 /
+# CCAL_PREFIX_SHARE=0 / CCAL_PREFIX_DEEP=0 / CCAL_BYTECODE=0 /
+# CCAL_STATE_DEDUP=0 / CCAL_SHARE_SEMANTIC=0 escape hatch; the kernel
+# differential also reruns under the obsolete CCAL_KERNEL=0 hatch), the
+# engine regression tests, the full workspace tests (on both execution
+# tiers, with the convergence cache off, and with sharing keys pinned),
 # and criterion-free benchmark smoke runs including the B5
 # (whole-prefix), B5d (query-point snapshot), B6 (compiled ClightX
-# bytecode VM), and B7 (convergence dedup) step-ratio gates. Everything
+# bytecode VM), B7 (convergence dedup), and B8 (semantic sharing keys)
+# step-ratio gates. Everything
 # here works without network access — proptest/criterion resolve to the
 # in-repo shim crates. Each stage reports its own wall time so perf
 # regressions in the harness itself are visible.
@@ -75,6 +77,12 @@ stage "differential: convergence dedup on vs off (all five checkers, evidence by
 stage "differential: convergence differential under the escape hatch (CCAL_STATE_DEDUP=0)" \
   env CCAL_STATE_DEDUP=0 cargo test -q -p ccal-forensics --test convergence_differential
 
+stage "differential: semantic sharing keys vs pinned families (all five checkers, both tiers, hostile aliasing)" \
+  cargo test -q --test sharing_differential
+
+stage "differential: sharing differential under the escape hatch (CCAL_SHARE_SEMANTIC=0)" \
+  env CCAL_SHARE_SEMANTIC=0 cargo test -q --test sharing_differential
+
 stage "regression: grid sampling, space_size, workers, cache cap" \
   cargo test -q -p ccal-core -- contexts:: par:: por:: sim::
 
@@ -86,6 +94,9 @@ stage "workspace tests on the interpreter tier (escape hatch: CCAL_BYTECODE=0)" 
 
 stage "workspace tests with the convergence cache off (escape hatch: CCAL_STATE_DEDUP=0)" \
   env CCAL_STATE_DEDUP=0 cargo test --workspace -q
+
+stage "workspace tests with pinned sharing keys (escape hatch: CCAL_SHARE_SEMANTIC=0)" \
+  env CCAL_SHARE_SEMANTIC=0 cargo test --workspace -q
 
 stage "forensics: shrink/replay selftest (all five checkers)" \
   cargo run -q --release -p ccal-forensics --bin ccal-replay -- --selftest
@@ -104,6 +115,9 @@ stage "bench gate (no criterion): bytecode_vm --quick (asserts B6 vm/interp prim
 
 stage "bench gate (no criterion): convergence --quick (asserts B7 dedup/base atom-steps <= 0.6 at L=5 + per-checker hits; writes BENCH_7.json)" \
   cargo bench -p ccal-bench --no-default-features --bench convergence -- --quick
+
+stage "bench gate (no criterion): sharing --quick (asserts B8 semantic/pinned atom-steps <= 0.5 at L=5 + per-unit family hits; writes BENCH_8.json)" \
+  cargo bench -p ccal-bench --no-default-features --bench sharing -- --quick
 
 stage "certd service e2e: sharded grid, zero-step cache hits, SIGKILL recovery, store persistence" \
   scripts/certd_e2e.sh
